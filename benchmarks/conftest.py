@@ -1,0 +1,24 @@
+"""Benchmark fixtures: cached experiment contexts per dataset."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def mnist_context():
+    from repro.experiments.context import get_context
+
+    return get_context("synth-mnist", "tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def svhn_context():
+    from repro.experiments.context import get_context
+
+    return get_context("synth-svhn", "tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def cifar_context():
+    from repro.experiments.context import get_context
+
+    return get_context("synth-cifar", "tiny", seed=0)

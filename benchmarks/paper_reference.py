@@ -1,0 +1,52 @@
+"""Reference numbers from the paper, for side-by-side printing.
+
+Absolute values are not expected to match (our substrate swaps the real
+datasets for synthetic look-alikes and scales the models down); the *shape*
+— orderings, margins, crossovers — is what each benchmark asserts.
+"""
+
+#: Table III — model accuracy / mean top-1 confidence.
+TABLE3 = {
+    "MNIST": (0.9943, 0.9979),
+    "CIFAR-10": (0.9484, 0.9456),
+    "SVHN": (0.9223, 0.9878),
+}
+
+#: Table VI — overall ROC-AUC of the joint validator per dataset.
+TABLE6_JOINT_OVERALL = {
+    "MNIST": 0.9937,
+    "CIFAR-10": 0.9805,
+    "SVHN": 0.9506,
+}
+
+#: Table VII — overall ROC-AUC (SCCs) per method per dataset.
+TABLE7 = {
+    "MNIST": {"Deep Validation": 0.9937, "Feature Squeezing": 0.9784,
+              "Kernel Density Estimation": 0.1436},
+    "CIFAR-10": {"Deep Validation": 0.9805, "Feature Squeezing": 0.8796,
+                 "Kernel Density Estimation": 0.1254},
+    "SVHN": {"Deep Validation": 0.9506, "Feature Squeezing": 0.6870,
+             "Kernel Density Estimation": 0.2543},
+}
+
+#: Table VIII — overall ROC-AUC on MNIST white-box attacks.
+TABLE8_OVERALL = {
+    "Deep Validation (SAEs)": 0.9755,
+    "Feature Squeezing (SAEs)": 0.9971,
+    "Deep Validation (AEs)": 0.9572,
+    "Feature Squeezing (AEs)": 0.9400,
+}
+
+#: Figure 4 — matched clean-data false positive rate.
+FIGURE4_FPR = 0.059
+
+_DATASET_TO_PAPER = {
+    "synth-mnist": "MNIST",
+    "synth-cifar": "CIFAR-10",
+    "synth-svhn": "SVHN",
+}
+
+
+def paper_dataset(name: str) -> str:
+    """Map a synthetic dataset name to the paper's dataset name."""
+    return _DATASET_TO_PAPER[name]

@@ -1,0 +1,66 @@
+"""Ablation: why the KDE baseline is brittle on corner cases.
+
+The paper reports kernel density estimation collapsing to ROC-AUC 0.13-0.25
+on real-world corner cases. On our substrate the collapse is a bandwidth
+artifact: at small bandwidths KDE degenerates to a nearest-neighbour
+distance (which detects corner cases), while at bandwidths large relative
+to the activation scale it degenerates to distance-from-the-global-mean and
+corner-case detection collapses toward and below chance — while adversarial
+detection (what the baseline was tuned for) degrades far more gracefully.
+This bench reproduces that mechanism.
+"""
+
+import numpy as np
+
+from repro.attacks import BIM
+from repro.detect import KernelDensityDetector
+from repro.metrics import roc_auc_score
+from repro.utils.tables import format_table
+
+
+def _auc(clean_scores, anomaly_scores):
+    labels = np.concatenate([np.zeros(len(clean_scores)), np.ones(len(anomaly_scores))])
+    return float(roc_auc_score(labels, np.concatenate([clean_scores, anomaly_scores])))
+
+
+def test_ablation_kde_bandwidth(benchmark, mnist_context, capsys):
+    context = mnist_context
+    dataset = context.dataset
+    scc, _ = context.suite.all_scc_images()
+    clean = context.clean_images[:200]
+
+    predictions = context.model.predict(dataset.test_images)
+    correct = np.flatnonzero(predictions == dataset.test_labels)[:40]
+    attack = BIM(context.model, epsilon=0.3, alpha=0.05, steps=8)
+    adversarial = attack.generate(
+        dataset.test_images[correct], dataset.test_labels[correct]
+    ).sae_images
+
+    rows = []
+    corner_aucs = {}
+    for bandwidth in (1.0, 5.0, 20.0, 100.0):
+        detector = KernelDensityDetector(
+            context.model, bandwidth=bandwidth, class_conditional=False
+        )
+        detector.fit(dataset.train_images, dataset.train_labels)
+        clean_scores = detector.score(clean)
+        corner_auc = _auc(clean_scores, detector.score(scc))
+        adv_auc = _auc(clean_scores, detector.score(adversarial))
+        corner_aucs[bandwidth] = corner_auc
+        rows.append([bandwidth, corner_auc, adv_auc])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Bandwidth", "Corner-case ROC-AUC", "Adversarial ROC-AUC"],
+            rows,
+            title="Ablation — KDE bandwidth sensitivity (synth-mnist, mixed classes)",
+        ))
+
+    detector = KernelDensityDetector(context.model, bandwidth=1.0)
+    detector.fit(dataset.train_images[:400], dataset.train_labels[:400])
+    benchmark(lambda: detector.score(clean[:50]))
+
+    # Shape: corner-case detection collapses toward (or below) chance as the
+    # bandwidth grows — the brittleness the paper's Table VII exposes.
+    assert corner_aucs[1.0] > 0.9
+    assert corner_aucs[100.0] < 0.65

@@ -1,0 +1,56 @@
+"""Ablation: validating all layers vs only the rear layers (paper IV-C).
+
+The paper validates only the last six layers of its DenseNet, arguing that
+dense inter-connections let discrepancies propagate to the rear. This bench
+compares rear-6 (the deployed policy) against rear-3 and all-layers on the
+CIFAR-like DenseNet, trading fit cost against detection AUC.
+"""
+
+import numpy as np
+
+from repro.core import DeepValidator, ValidatorConfig
+from repro.metrics import roc_auc_score
+from repro.utils.tables import format_table
+
+
+def _auc_with_layers(context, layers):
+    validator = DeepValidator(
+        context.model,
+        ValidatorConfig(nu=0.1, max_per_class=120, layers=layers),
+    )
+    dataset = context.dataset
+    validator.fit(dataset.train_images, dataset.train_labels)
+    scc, _ = context.suite.all_scc_images()
+    clean = context.clean_images
+    scores = np.concatenate(
+        [validator.joint_discrepancy(clean), validator.joint_discrepancy(scc)]
+    )
+    labels = np.concatenate([np.zeros(len(clean)), np.ones(len(scc))])
+    return float(roc_auc_score(labels, scores))
+
+
+def test_ablation_rear_layers(benchmark, cifar_context, capsys):
+    probe_count = len(cifar_context.model.probe_names)
+    policies = {
+        "rear-3": list(range(probe_count - 3, probe_count)),
+        "rear-6 (paper)": list(range(probe_count - 6, probe_count)),
+        "all layers": list(range(probe_count)),
+    }
+    aucs = {}
+    for name, layers in policies.items():
+        aucs[name] = _auc_with_layers(cifar_context, layers)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Policy", "Layers validated", "Overall ROC-AUC"],
+            [[name, len(layers), aucs[name]] for name, layers in policies.items()],
+            title="Ablation — rear-layer validation on the DenseNet (synth-cifar)",
+        ))
+
+    images = cifar_context.clean_images[:50]
+    benchmark(lambda: cifar_context.validator.joint_discrepancy(images))
+
+    # Shape: the rear-6 policy retains competitive detection at a fraction
+    # of the validators (the paper's justification for the policy).
+    assert aucs["rear-6 (paper)"] > 0.85
+    assert aucs["rear-6 (paper)"] >= aucs["rear-3"] - 0.05

@@ -1,0 +1,57 @@
+"""Extension bench: calibrated invalidity probabilities with error bars.
+
+Turns the raw joint discrepancy into an operator-facing probability
+("this input is X % likely to be error-inducing") via Platt and isotonic
+calibration, and reports the headline AUC with a bootstrap confidence
+interval — the uncertainty the paper's point estimates omit.
+"""
+
+import numpy as np
+
+from repro.core import IsotonicCalibrator, PlattCalibrator, expected_calibration_error
+from repro.metrics import bootstrap_auc
+from repro.utils.tables import format_table
+
+
+def test_extension_calibration(benchmark, mnist_context, capsys):
+    context = mnist_context
+    validator = context.validator
+    scc, _ = context.suite.all_scc_images()
+    clean_scores = validator.joint_discrepancy(context.clean_images)
+    corner_scores = validator.joint_discrepancy(scc)
+
+    # Calibrate on the first halves, evaluate on the second halves.
+    half_c, half_k = len(clean_scores) // 2, len(corner_scores) // 2
+    calib_scores = np.concatenate([clean_scores[:half_c], corner_scores[:half_k]])
+    calib_labels = np.concatenate([np.zeros(half_c), np.ones(half_k)])
+    eval_scores = np.concatenate([clean_scores[half_c:], corner_scores[half_k:]])
+    eval_labels = np.concatenate(
+        [np.zeros(len(clean_scores) - half_c), np.ones(len(corner_scores) - half_k)]
+    )
+
+    rows = []
+    for name, calibrator in (
+        ("Platt (sigmoid)", PlattCalibrator()),
+        ("isotonic (PAV)", IsotonicCalibrator()),
+    ):
+        calibrator.fit(calib_scores, calib_labels)
+        probabilities = calibrator.predict_proba(eval_scores)
+        rows.append([name, expected_calibration_error(probabilities, eval_labels)])
+    interval = bootstrap_auc(eval_labels, eval_scores, resamples=500)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Calibrator", "Held-out ECE"],
+            rows,
+            title="Extension — calibrated invalidity probabilities (synth-mnist)",
+        ))
+        print(f"held-out joint AUC with 95% bootstrap CI: {interval!r}")
+
+    calibrator = PlattCalibrator().fit(calib_scores, calib_labels)
+    benchmark(lambda: calibrator.predict_proba(eval_scores))
+
+    # Shape: both calibrators produce usable probabilities, and the
+    # headline AUC's confidence interval stays high.
+    for _, ece in rows:
+        assert ece < 0.15
+    assert interval.lower > 0.95

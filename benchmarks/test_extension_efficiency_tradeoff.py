@@ -1,0 +1,28 @@
+"""Extension bench: the dependability/efficiency trade-off (paper conclusion).
+
+"How to offer the flexibility that allows a trade-off between ultra
+dependability and high efficiency is an exciting direction for future
+work." — realised here as greedy validator-subset selection: the curve of
+detection AUC against the number of validated layers.
+"""
+
+from repro.core import smallest_subset_reaching
+from repro.experiments.extensions import run_tradeoff_study
+
+
+def test_extension_efficiency_tradeoff(benchmark, mnist_context, capsys):
+    study = benchmark.pedantic(
+        lambda: run_tradeoff_study(mnist_context), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(study.render())
+
+    # Shape: the curve is worthwhile — a small subset nearly matches the
+    # full stack, giving the deployment a real trade-off dial.
+    curve = study.curve
+    full_auc = curve[-1].auc
+    cheap = smallest_subset_reaching(curve, full_auc - 0.01)
+    assert cheap is not None
+    assert len(cheap.layers) <= max(1, len(curve) - 1)
+    assert curve[0].auc > 0.9

@@ -1,0 +1,26 @@
+"""Extension bench: learned layer weights (paper future work, Eq. 3 note).
+
+The paper: "it can be improved via carefully assigning different weights to
+different single validators". Compares the unweighted sum against the
+logistic and greedy-AUC weightings on the SVHN-like dataset, where single
+validators fluctuate the most (paper Section IV-D3).
+"""
+
+import numpy as np
+
+from repro.experiments.extensions import run_weighting_study
+
+
+def test_extension_weighted_joint(benchmark, svhn_context, capsys):
+    study = benchmark.pedantic(
+        lambda: run_weighting_study(svhn_context), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(study.render())
+        print(f"logistic weights: {np.round(study.logistic_weights, 3)}")
+
+    best_learned = max(study.logistic_auc, study.greedy_auc)
+    # Learned weighting should match or beat the uniform sum out of sample.
+    assert best_learned >= study.uniform_auc - 0.01
+    assert study.uniform_auc > 0.9

@@ -1,0 +1,19 @@
+"""Bench: Figure 2 — example synthetic corner cases (rendered as ASCII)."""
+
+from repro.experiments import run_figure2
+from repro.experiments.figure2 import ascii_image
+
+
+def test_figure2_examples(benchmark, mnist_context, capsys):
+    result = run_figure2("synth-mnist", "tiny")
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    image = mnist_context.suite.seeds[0]
+    benchmark(lambda: ascii_image(image))
+
+    names = [name for name, _ in result.panels]
+    assert names[0] == "original seed"
+    # One panel per viable transformation, as in the paper's grid.
+    assert len(names) == 1 + len(mnist_context.suite.viable_transformations)

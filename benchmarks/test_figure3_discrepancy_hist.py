@@ -1,0 +1,26 @@
+"""Bench: Figure 3 — discrepancy distributions (legitimate vs SCC)."""
+
+import pytest
+
+from repro.experiments import run_figure3
+
+
+@pytest.mark.parametrize("dataset", ["synth-mnist", "synth-svhn", "synth-cifar"])
+def test_figure3_discrepancy_hist(benchmark, dataset, request, capsys):
+    request.getfixturevalue(
+        {"synth-mnist": "mnist_context", "synth-svhn": "svhn_context",
+         "synth-cifar": "cifar_context"}[dataset]
+    )
+    result = benchmark.pedantic(
+        lambda: run_figure3(dataset, "tiny"), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    # Shape (paper Figure 3): legitimate images concentrate at lower
+    # discrepancy than SCCs, with limited overlap, and the centroid-midpoint
+    # epsilon separates the populations.
+    assert result.scc_centroid > result.clean_centroid
+    assert result.overlap < 0.35
+    assert result.clean_centroid < result.suggested_epsilon < result.scc_centroid

@@ -1,0 +1,36 @@
+"""Bench: Figure 4 — detection rate vs scale distortion at matched FPR."""
+
+import numpy as np
+
+from benchmarks.paper_reference import FIGURE4_FPR
+from repro.experiments import run_figure4
+
+
+def test_figure4_distortion_sweep(benchmark, mnist_context, capsys):
+    result = benchmark.pedantic(
+        lambda: run_figure4("synth-mnist", "tiny", fpr=FIGURE4_FPR),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    points = result.points
+    severe = [p for p in points if p.ratio <= 0.5 or p.ratio >= 1.8]
+    mild = [p for p in points if 0.85 <= p.ratio <= 1.2]
+
+    # Shape (paper Figure 4): success rate grows with distortion; Deep
+    # Validation holds near-perfect SCC detection under severe distortion;
+    # its FCC detection grows alongside the success rate (the early-warning
+    # behaviour); and mild distortion leaves FCC detection low.
+    assert np.mean([p.success_rate for p in severe]) > np.mean(
+        [p.success_rate for p in mild]
+    )
+    for point in severe:
+        if point.dv_scc_rate is not None:
+            assert point.dv_scc_rate > 0.9
+    severe_fcc = [p.dv_fcc_rate for p in severe if p.dv_fcc_rate is not None]
+    mild_fcc = [p.dv_fcc_rate for p in mild if p.dv_fcc_rate is not None]
+    if severe_fcc and mild_fcc:
+        assert np.mean(severe_fcc) >= np.mean(mild_fcc)

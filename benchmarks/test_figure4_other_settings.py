@@ -1,0 +1,79 @@
+"""Bench: the Figure 4 settings the paper omitted.
+
+"The results for other settings show a similar trend and are thus omitted
+here." — Section IV-D6. This bench produces them: rotation sweeps on the
+SVHN-like and CIFAR-like datasets at the same matched FPR, asserting the
+same qualitative trend (high SCC detection, FCC detection correlated with
+the success rate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.corner.sweep import early_warning_correlation, run_distortion_sweep
+from repro.transforms import Rotation
+from repro.utils.cache import default_cache
+from repro.utils.tables import format_table
+
+ANGLES = (5.0, 15.0, 25.0, 35.0, 45.0, 55.0)
+
+
+def _measure(context):
+    configs = [Rotation(theta) for theta in ANGLES]
+    return run_distortion_sweep(
+        context.model,
+        context.validator.joint_discrepancy,
+        configs,
+        context.suite.seeds,
+        context.suite.seed_labels,
+        clean_scores=context.validator.joint_discrepancy(context.clean_images),
+        fpr=0.059,
+        detector_name="deep-validation",
+    )
+
+
+@pytest.mark.parametrize("dataset", ["synth-svhn", "synth-cifar"])
+def test_figure4_other_settings(benchmark, dataset, request, capsys):
+    context = request.getfixturevalue(
+        {"synth-svhn": "svhn_context", "synth-cifar": "cifar_context"}[dataset]
+    )
+    cache = default_cache()
+    config = {"kind": "figure4-other", "dataset": dataset, "angles": list(ANGLES), "v": 1}
+    sweep = cache.get_or_build(
+        "figure4-other", config, lambda: _measure(context)
+    )
+    rows = [
+        [level.config.params["theta"], level.success_rate,
+         level.detection_scc, level.detection_fcc]
+        for level in sweep.levels
+    ]
+    correlation = early_warning_correlation(sweep)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Rotation (deg)", "Success rate", "DV det(SCC)", "DV det(FCC)"],
+            rows,
+            title=(
+                f"Figure 4 (omitted setting) — rotation sweep on {dataset} "
+                f"at clean FPR 0.059"
+            ),
+        ))
+        print(f"early-warning correlation (success vs FCC detection): {correlation:.3f}")
+
+    images = context.clean_images[:50]
+    benchmark(lambda: context.validator.joint_discrepancy(images))
+
+    # The paper's claimed "similar trend":
+    # success grows with the angle...
+    success = sweep.success_rates()
+    assert success[-1] > success[0]
+    # ...SCC detection stays high at strong distortion (the SVHN-like
+    # dataset is the paper's weakest setting too: joint AUC 0.9506 there
+    # vs 0.9937/0.9805 elsewhere, so its bar sits lower)...
+    strong = [l for l in sweep.levels if l.config.params["theta"] >= 35.0]
+    floor = 0.75 if dataset == "synth-svhn" else 0.85
+    for level in strong:
+        if level.detection_scc is not None:
+            assert level.detection_scc > floor
+    # ...and FCC detection tracks danger.
+    assert correlation > 0.5

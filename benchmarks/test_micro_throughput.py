@@ -1,0 +1,68 @@
+"""Micro-benchmarks: throughput of the substrate's hot paths.
+
+These quantify the paper's "low overhead" claim (Section IV-C): querying the
+per-layer SVMs costs little next to the CNN forward pass whose hidden
+representations are available for free during inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d
+from repro.svm import OneClassSVM
+from repro.transforms import Rotation
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(32, 8, 28, 28)).astype(np.float32))
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)).astype(np.float32))
+    return x, w
+
+
+def test_conv2d_forward_throughput(benchmark, conv_inputs):
+    x, w = conv_inputs
+    benchmark(lambda: conv2d(x, w, stride=1, pad=1))
+
+
+def test_model_forward_throughput(benchmark, mnist_context):
+    images = mnist_context.dataset.test_images[:128]
+    benchmark(lambda: mnist_context.model.predict_proba(images))
+
+
+def test_svm_scoring_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    train = rng.normal(size=(200, 64))
+    queries = rng.normal(size=(128, 64))
+    svm = OneClassSVM(nu=0.1).fit(train)
+    benchmark(lambda: svm.signed_distance(queries))
+
+
+def test_validator_overhead_vs_forward(benchmark, mnist_context, capsys):
+    """Joint discrepancy cost relative to a bare forward pass."""
+    import time
+
+    images = mnist_context.dataset.test_images[:128]
+    model = mnist_context.model
+    validator = mnist_context.validator
+
+    start = time.perf_counter()
+    model.predict_proba(images)
+    forward_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    validator.joint_discrepancy(images)
+    validated_time = time.perf_counter() - start
+    with capsys.disabled():
+        print(f"\nforward {forward_time * 1000:.1f} ms vs "
+              f"validated {validated_time * 1000:.1f} ms "
+              f"({validated_time / forward_time:.1f}x) for 128 images")
+
+    benchmark(lambda: validator.joint_discrepancy(images))
+
+
+def test_transform_throughput(benchmark, mnist_context):
+    seeds = mnist_context.suite.seeds
+    rotate = Rotation(30.0)
+    benchmark(lambda: rotate(seeds))

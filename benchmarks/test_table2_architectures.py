@@ -1,0 +1,21 @@
+"""Bench: Table II — model architecture listing plus forward throughput."""
+
+import numpy as np
+
+from repro.experiments import run_table2
+
+
+def test_table2_architecture(benchmark, svhn_context, capsys):
+    result = run_table2("tiny")
+    with capsys.disabled():
+        print()
+        print(result.render())
+        print("(paper Table II: conv64, conv64+pool, conv128, conv128+pool, "
+              "fc256, fc256, softmax — same topology, width-scaled)")
+
+    model = svhn_context.model
+    images = svhn_context.dataset.test_images[:64]
+    benchmark(lambda: model.predict_proba(images))
+
+    stages = [name for name, _ in result.rows]
+    assert stages == ["conv1", "conv2", "conv3", "conv4", "fc1", "fc2", "softmax"]

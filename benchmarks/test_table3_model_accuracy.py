@@ -1,0 +1,25 @@
+"""Bench: Table III — test accuracy and confidence of the three classifiers."""
+
+from benchmarks.paper_reference import TABLE3, paper_dataset
+from repro.experiments import run_table3
+
+
+def test_table3_model_accuracy(
+    benchmark, mnist_context, svhn_context, cifar_context, capsys
+):
+    result = benchmark.pedantic(lambda: run_table3("tiny"), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.render())
+        print("paper reference:")
+        for name, (accuracy, confidence) in TABLE3.items():
+            print(f"  {name}: accuracy={accuracy} confidence={confidence}")
+
+    # Shape: every model is trained well above chance and confident; the
+    # MNIST-like model is the most accurate (as in the paper).
+    for name, accuracy, confidence in result.rows:
+        assert accuracy > 0.6
+        assert confidence > 0.5
+    assert result.accuracy("synth-mnist") == max(
+        result.accuracy(d) for d in ("synth-mnist", "synth-svhn", "synth-cifar")
+    )

@@ -1,0 +1,21 @@
+"""Bench: Table IV — transformation search spaces and enumeration cost."""
+
+from repro.corner.search_space import SEARCH_SPACES
+from repro.experiments import run_table4
+
+
+def _enumerate_spaces():
+    return {name: list(space.configs) for name, space in SEARCH_SPACES.items()}
+
+
+def test_table4_search_space(benchmark, capsys):
+    result = run_table4()
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    configs = benchmark(_enumerate_spaces)
+    assert len(configs["rotation"]) == 70  # 1..70 degrees, step 1
+    assert len(configs["complement"]) == 1
+    assert len(configs["shear"]) == 35  # 6x6 grid minus the identity
+    assert len(configs["translation"]) == 360  # 19x19 minus the identity

@@ -1,0 +1,41 @@
+"""Bench: Table VI — single vs joint validator ROC-AUC (the headline table).
+
+Benchmarked unit: the joint-discrepancy scoring of the full evaluation set —
+the online cost of running Deep Validation in production.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.paper_reference import TABLE6_JOINT_OVERALL, paper_dataset
+from repro.experiments import run_table6
+
+
+@pytest.mark.parametrize("dataset", ["synth-mnist", "synth-svhn", "synth-cifar"])
+def test_table6_deep_validation(benchmark, dataset, request, capsys):
+    context = request.getfixturevalue(
+        {"synth-mnist": "mnist_context", "synth-svhn": "svhn_context",
+         "synth-cifar": "cifar_context"}[dataset]
+    )
+    result = run_table6(dataset, "tiny")
+    with capsys.disabled():
+        print()
+        print(result.render())
+        print(f"paper joint overall on {paper_dataset(dataset)}: "
+              f"{TABLE6_JOINT_OVERALL[paper_dataset(dataset)]}")
+
+    images = context.clean_images[:100]
+    benchmark(lambda: context.validator.joint_discrepancy(images))
+
+    # Shape assertions:
+    # the joint validator's overall AUC is high on every dataset, and on the
+    # clean MNIST-like dataset it dominates every single validator, as the
+    # paper reports.
+    assert result.joint_overall > 0.9
+    if dataset == "synth-mnist":
+        assert result.joint_overall >= result.best_single_overall - 1e-9
+        assert np.all(result.joint_auc >= 0.97)
+    if dataset == "synth-cifar":
+        # Rear-layer validation (paper IV-C): the later validators carry the
+        # overall detection on the DenseNet.
+        assert result.single_overall[-1] >= result.single_overall.max() - 0.05

@@ -1,0 +1,42 @@
+"""Bench: Table VII — Deep Validation vs feature squeezing vs KDE.
+
+Benchmarked unit: feature squeezing's scoring pass (its online cost), since
+Deep Validation's is benchmarked with Table VI.
+"""
+
+import pytest
+
+from benchmarks.paper_reference import TABLE7, paper_dataset
+from repro.detect import FeatureSqueezing
+from repro.experiments import run_table7
+
+
+@pytest.mark.parametrize("dataset", ["synth-mnist", "synth-svhn", "synth-cifar"])
+def test_table7_baselines(benchmark, dataset, request, capsys):
+    context = request.getfixturevalue(
+        {"synth-mnist": "mnist_context", "synth-svhn": "svhn_context",
+         "synth-cifar": "cifar_context"}[dataset]
+    )
+    result = run_table7(dataset, "tiny")
+    with capsys.disabled():
+        print()
+        print(result.render())
+        print(f"paper reference ({paper_dataset(dataset)}): "
+              f"{TABLE7[paper_dataset(dataset)]}")
+
+    squeezer = FeatureSqueezing(
+        context.model, greyscale=context.dataset.channels == 1
+    )
+    images = context.clean_images[:50]
+    benchmark(lambda: squeezer.score(images))
+
+    # Shape: Deep Validation wins on every dataset, with a wide margin over
+    # feature squeezing on the noisier colour datasets (the paper's headline
+    # Table VII ordering). Note: the paper's KDE collapse (AUC ~0.13-0.25)
+    # does not fully manifest on our substrate; see EXPERIMENTS.md.
+    dv = result.auc("Deep Validation")
+    fs = result.auc("Feature Squeezing")
+    assert dv > fs
+    assert dv > 0.9
+    if dataset in ("synth-svhn", "synth-cifar"):
+        assert dv - fs > 0.1

@@ -1,0 +1,25 @@
+"""Deep Validation (DSN 2019) reproduction.
+
+A from-scratch implementation of *Deep Validation: Toward Detecting
+Real-World Corner Cases for Deep Neural Networks* (Wu et al., DSN 2019) and
+every substrate it depends on: a numpy autograd/CNN stack, synthetic
+MNIST/CIFAR/SVHN look-alike datasets, metamorphic corner-case generation,
+ν-one-class SVMs, baseline detectors, white-box attacks, and an experiment
+harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro.zoo import get_trained_classifier
+    from repro.core import DeepValidator, ValidatorConfig
+
+    clf = get_trained_classifier("synth-mnist", "tiny")
+    validator = DeepValidator(clf.model, ValidatorConfig())
+    validator.fit(clf.dataset.train_images, clf.dataset.train_labels)
+    discrepancy = validator.joint_discrepancy(clf.dataset.test_images[:8])
+"""
+
+from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["DeepValidator", "ValidatorConfig", "RuntimeMonitor", "__version__"]

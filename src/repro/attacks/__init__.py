@@ -1,0 +1,36 @@
+"""White-box adversarial attacks (paper Section IV-D5, Table VIII).
+
+All attacks consume exact input gradients from :mod:`repro.autograd` —
+no surrogate or finite-difference approximations. Images are floats in
+``[0, 1]``; every attack clips back into that box.
+"""
+
+from repro.attacks.base import (
+    Attack,
+    AttackResult,
+    input_gradient,
+    least_likely_targets,
+    next_class_targets,
+)
+from repro.attacks.fgsm import FGSM
+from repro.attacks.bim import BIM
+from repro.attacks.jsma import JSMA
+from repro.attacks.carlini import CarliniL0, CarliniL2, CarliniLinf
+from repro.attacks.pgd import PGD
+from repro.attacks.deepfool import DeepFool
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "input_gradient",
+    "next_class_targets",
+    "least_likely_targets",
+    "FGSM",
+    "BIM",
+    "JSMA",
+    "CarliniL2",
+    "CarliniLinf",
+    "CarliniL0",
+    "PGD",
+    "DeepFool",
+]

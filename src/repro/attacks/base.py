@@ -1,0 +1,117 @@
+"""Attack interfaces and gradient plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.losses import cross_entropy
+from repro.nn.sequential import ProbedSequential
+
+
+@dataclass
+class AttackResult:
+    """Adversarial images plus bookkeeping.
+
+    ``success`` follows the paper's defender-centric convention: an
+    adversarial example succeeds when it is misclassified relative to the
+    *ground truth*, regardless of whether a targeted attack reached its
+    specific target (Section IV-D5).
+    """
+
+    adversarial: np.ndarray
+    predictions: np.ndarray
+    true_labels: np.ndarray
+    target_labels: np.ndarray | None = None
+
+    @property
+    def success(self) -> np.ndarray:
+        return self.predictions != self.true_labels
+
+    @property
+    def success_rate(self) -> float:
+        return float(self.success.mean())
+
+    @property
+    def sae_images(self) -> np.ndarray:
+        """Successful adversarial examples."""
+        return self.adversarial[self.success]
+
+    @property
+    def fae_images(self) -> np.ndarray:
+        """Failed adversarial examples."""
+        return self.adversarial[~self.success]
+
+
+def input_gradient(
+    model: ProbedSequential, images: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Gradient of the cross-entropy loss w.r.t. the input pixels."""
+    model.eval()
+    x = Tensor(np.asarray(images, dtype=np.float32), requires_grad=True)
+    logits = model.forward_logits(x)
+    loss = cross_entropy(logits, np.asarray(labels))
+    loss.backward()
+    return x.grad.astype(np.float64)
+
+
+def logits_jacobian(model: ProbedSequential, images: np.ndarray) -> np.ndarray:
+    """Jacobian of the logits w.r.t. the input, shape (N, classes, features).
+
+    One backward pass per class over the whole batch (the gradient of
+    ``sum_n z_{n,k}`` w.r.t. input ``n`` is exactly ``dz_{n,k}/dx_n``).
+    """
+    model.eval()
+    classes = model.predict_proba(images[:1]).shape[1]
+    rows = []
+    for klass in range(classes):
+        # One fresh forward per class: each backward consumes its tape.
+        x = Tensor(np.asarray(images, dtype=np.float32), requires_grad=True)
+        out = model.forward_logits(x)
+        out[:, klass].sum().backward()
+        rows.append(x.grad.reshape(len(images), -1).astype(np.float64))
+    return np.stack(rows, axis=1)
+
+
+def next_class_targets(labels: np.ndarray, num_classes: int = 10) -> np.ndarray:
+    """The paper's "Next" targeting: the class after the ground truth."""
+    return (np.asarray(labels) + 1) % num_classes
+
+
+def least_likely_targets(model: ProbedSequential, images: np.ndarray) -> np.ndarray:
+    """The paper's "LL" targeting: the model's least likely class."""
+    return model.predict_proba(images).argmin(axis=1)
+
+
+class Attack:
+    """Base class: configure at construction, run with :meth:`generate`."""
+
+    name: str = "attack"
+
+    def __init__(self, model: ProbedSequential) -> None:
+        self.model = model
+
+    def generate(self, images: np.ndarray, labels: np.ndarray) -> AttackResult:
+        """Craft adversarial versions of ``images`` (ground truth ``labels``).
+
+        Targeted attacks additionally accept a ``targets`` array. Inputs
+        are never mutated; the result's ``success`` follows the
+        defender-centric convention documented on :class:`AttackResult`.
+        """
+        raise NotImplementedError
+
+    def _finish(
+        self,
+        adversarial: np.ndarray,
+        true_labels: np.ndarray,
+        target_labels: np.ndarray | None = None,
+    ) -> AttackResult:
+        predictions = self.model.predict(adversarial)
+        return AttackResult(
+            adversarial=adversarial,
+            predictions=predictions,
+            true_labels=np.asarray(true_labels),
+            target_labels=target_labels,
+        )

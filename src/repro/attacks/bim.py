@@ -1,0 +1,41 @@
+"""Basic iterative method (Kurakin et al. 2017)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult, input_gradient
+from repro.nn.sequential import ProbedSequential
+
+
+class BIM(Attack):
+    """Iterated FGSM with per-step size ``alpha`` inside an ``epsilon`` ball."""
+
+    name = "bim"
+
+    def __init__(
+        self,
+        model: ProbedSequential,
+        epsilon: float = 0.3,
+        alpha: float = 0.03,
+        steps: int = 10,
+    ) -> None:
+        super().__init__(model)
+        if epsilon <= 0 or alpha <= 0:
+            raise ValueError("epsilon and alpha must be positive")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.steps = steps
+
+    def generate(self, images: np.ndarray, labels: np.ndarray) -> AttackResult:
+        images = np.asarray(images, dtype=np.float64)
+        adversarial = images.copy()
+        lower = np.clip(images - self.epsilon, 0.0, 1.0)
+        upper = np.clip(images + self.epsilon, 0.0, 1.0)
+        for _ in range(self.steps):
+            gradient = input_gradient(self.model, adversarial, labels)
+            adversarial = adversarial + self.alpha * np.sign(gradient)
+            adversarial = np.clip(adversarial, lower, upper)
+        return self._finish(adversarial, labels)

@@ -1,0 +1,280 @@
+"""Carlini & Wagner attacks (S&P 2017): L2, L∞, and L0 variants.
+
+All three minimise the margin loss
+``f(x') = max(max_{i != t} Z_i(x') - Z_t(x'), -kappa)`` (targeted form)
+under their respective distortion metrics:
+
+* **L2** — change of variable ``x' = (tanh(w) + 1) / 2`` with Adam on ``w``,
+  per-sample constant ``c`` refined by binary search.
+* **L∞** — penalty ``sum((|delta| - tau)+)`` with ``tau`` decayed every time
+  the attack still succeeds.
+* **L0** — repeated L2 attacks with a shrinking set of modifiable pixels;
+  the pixels contributing least (by ``|delta * grad|``) are frozen each
+  round, exactly as in the original paper's reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.sequential import ProbedSequential
+
+
+class _Adam:
+    """Plain-array Adam used to drive the attack variables."""
+
+    def __init__(self, shape: tuple[int, ...], lr: float) -> None:
+        self.lr = lr
+        self.m = np.zeros(shape)
+        self.v = np.zeros(shape)
+        self.t = 0
+
+    def step(self, grad: np.ndarray) -> np.ndarray:
+        self.t += 1
+        self.m = 0.9 * self.m + 0.1 * grad
+        self.v = 0.999 * self.v + 0.001 * grad**2
+        m_hat = self.m / (1 - 0.9**self.t)
+        v_hat = self.v / (1 - 0.999**self.t)
+        return self.lr * m_hat / (np.sqrt(v_hat) + 1e-8)
+
+
+def _margin_and_grad(
+    model: ProbedSequential,
+    adversarial: np.ndarray,
+    targets: np.ndarray,
+    kappa: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Margin loss values, input gradients, and logits for a batch."""
+    x = Tensor(adversarial.astype(np.float32), requires_grad=True)
+    logits = model.forward_logits(x)
+    batch = len(adversarial)
+    target_mask = np.zeros(logits.shape, dtype=bool)
+    target_mask[np.arange(batch), targets] = True
+    masked = ops.where(target_mask, Tensor(np.full(logits.shape, -1e9)), logits)
+    margin = ops.maximum(
+        masked.max(axis=1) - logits[np.arange(batch), targets],
+        Tensor(np.full(batch, -kappa)),
+    )
+    margin.sum().backward()
+    return margin.data.copy(), x.grad.astype(np.float64), logits.data.copy()
+
+
+class CarliniL2(Attack):
+    """CW L2 with tanh-space optimisation and binary search over ``c``."""
+
+    name = "cw2"
+
+    def __init__(
+        self,
+        model: ProbedSequential,
+        steps: int = 150,
+        search_steps: int = 3,
+        initial_c: float = 1.0,
+        lr: float = 0.1,
+        kappa: float = 0.0,
+    ) -> None:
+        super().__init__(model)
+        self.steps = steps
+        self.search_steps = search_steps
+        self.initial_c = initial_c
+        self.lr = lr
+        self.kappa = kappa
+
+    def generate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        targets: np.ndarray | None = None,
+    ) -> AttackResult:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels)
+        if targets is None:
+            targets = (labels + 1) % 10
+        targets = np.asarray(targets)
+        batch = len(images)
+
+        clipped = np.clip(images, 1e-6, 1 - 1e-6)
+        w_origin = np.arctanh(2.0 * clipped - 1.0)
+
+        c = np.full(batch, self.initial_c)
+        lower = np.zeros(batch)
+        upper = np.full(batch, 1e9)
+        best_adv = images.copy()
+        best_l2 = np.full(batch, np.inf)
+
+        for _ in range(self.search_steps):
+            w = w_origin.copy()
+            adam = _Adam(w.shape, self.lr)
+            for _ in range(self.steps):
+                adversarial = (np.tanh(w) + 1.0) / 2.0
+                margin, grad_adv, logits = _margin_and_grad(
+                    self.model, adversarial, targets, self.kappa
+                )
+                delta = adversarial - images
+                l2 = (delta.reshape(batch, -1) ** 2).sum(axis=1)
+                succeeded = logits.argmax(axis=1) == targets
+                improved = succeeded & (l2 < best_l2)
+                best_l2[improved] = l2[improved]
+                best_adv[improved] = adversarial[improved]
+
+                shape = (batch,) + (1,) * (images.ndim - 1)
+                grad_total = 2.0 * delta + c.reshape(shape) * grad_adv
+                # d(adv)/d(w) = (1 - tanh(w)^2) / 2
+                grad_w = grad_total * (1.0 - np.tanh(w) ** 2) / 2.0
+                w -= adam.step(grad_w)
+            ever_succeeded = np.isfinite(best_l2)
+            upper[ever_succeeded] = np.minimum(upper[ever_succeeded], c[ever_succeeded])
+            lower[~ever_succeeded] = c[~ever_succeeded]
+            has_upper = upper < 1e9
+            c = np.where(has_upper, (lower + upper) / 2.0, c * 10.0)
+        return self._finish(best_adv, labels, target_labels=targets)
+
+
+class CarliniLinf(Attack):
+    """CW L∞: penalise per-pixel excess over ``tau``, decaying ``tau``."""
+
+    name = "cwinf"
+
+    def __init__(
+        self,
+        model: ProbedSequential,
+        steps: int = 100,
+        outer_steps: int = 5,
+        c: float = 5.0,
+        lr: float = 0.01,
+        initial_tau: float = 0.3,
+        tau_decay: float = 0.7,
+        kappa: float = 0.0,
+    ) -> None:
+        super().__init__(model)
+        self.steps = steps
+        self.outer_steps = outer_steps
+        self.c = c
+        self.lr = lr
+        self.initial_tau = initial_tau
+        self.tau_decay = tau_decay
+        self.kappa = kappa
+
+    def generate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        targets: np.ndarray | None = None,
+    ) -> AttackResult:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels)
+        if targets is None:
+            targets = (labels + 1) % 10
+        targets = np.asarray(targets)
+        batch = len(images)
+
+        delta = np.zeros_like(images)
+        tau = np.full(batch, self.initial_tau)
+        best_adv = images.copy()
+        found = np.zeros(batch, dtype=bool)
+
+        shape = (batch,) + (1,) * (images.ndim - 1)
+        for _ in range(self.outer_steps):
+            adam = _Adam(delta.shape, self.lr)
+            for _ in range(self.steps):
+                adversarial = np.clip(images + delta, 0.0, 1.0)
+                _, grad_adv, logits = _margin_and_grad(
+                    self.model, adversarial, targets, self.kappa
+                )
+                excess = np.abs(delta) > tau.reshape(shape)
+                grad_pen = np.sign(delta) * excess
+                grad = self.c * grad_adv + grad_pen
+                delta -= adam.step(grad)
+                delta = np.clip(images + delta, 0.0, 1.0) - images
+            adversarial = np.clip(images + delta, 0.0, 1.0)
+            predictions = self.model.predict(adversarial)
+            succeeded = predictions == targets
+            best_adv[succeeded] = adversarial[succeeded]
+            found |= succeeded
+            tau[succeeded] = np.minimum(
+                tau[succeeded] * self.tau_decay,
+                np.abs(delta[succeeded]).reshape(succeeded.sum(), -1).max(axis=1),
+            )
+        return self._finish(best_adv, labels, target_labels=targets)
+
+
+class CarliniL0(Attack):
+    """CW L0: iterated L2 attacks with a shrinking modifiable-pixel set."""
+
+    name = "cw0"
+
+    def __init__(
+        self,
+        model: ProbedSequential,
+        steps: int = 100,
+        rounds: int = 4,
+        c: float = 10.0,
+        lr: float = 0.05,
+        freeze_fraction: float = 0.3,
+        kappa: float = 0.0,
+    ) -> None:
+        super().__init__(model)
+        self.steps = steps
+        self.rounds = rounds
+        self.c = c
+        self.lr = lr
+        self.freeze_fraction = freeze_fraction
+        self.kappa = kappa
+
+    def _attack_with_mask(
+        self,
+        images: np.ndarray,
+        targets: np.ndarray,
+        mask: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """L2-style inner attack restricted to ``mask``; returns grads too."""
+        batch = len(images)
+        delta = np.zeros_like(images)
+        adam = _Adam(delta.shape, self.lr)
+        last_grad = np.zeros_like(images)
+        for _ in range(self.steps):
+            adversarial = np.clip(images + delta * mask, 0.0, 1.0)
+            _, grad_adv, _ = _margin_and_grad(self.model, adversarial, targets, self.kappa)
+            last_grad = grad_adv
+            grad = (self.c * grad_adv + 2.0 * delta) * mask
+            delta -= adam.step(grad)
+            delta = (np.clip(images + delta, 0.0, 1.0) - images) * mask
+        adversarial = np.clip(images + delta * mask, 0.0, 1.0)
+        return adversarial, delta, last_grad
+
+    def generate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        targets: np.ndarray | None = None,
+    ) -> AttackResult:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels)
+        if targets is None:
+            targets = (labels + 1) % 10
+        targets = np.asarray(targets)
+        batch = len(images)
+
+        mask = np.ones_like(images)
+        best_adv = images.copy()
+        for _ in range(self.rounds):
+            adversarial, delta, grad = self._attack_with_mask(images, targets, mask)
+            predictions = self.model.predict(adversarial)
+            succeeded = predictions == targets
+            if not succeeded.any():
+                break
+            best_adv[succeeded] = adversarial[succeeded]
+            # Freeze the least-contributing modified pixels of successes.
+            contribution = np.abs(delta * grad).reshape(batch, -1)
+            flat_mask = mask.reshape(batch, -1)
+            for index in np.flatnonzero(succeeded):
+                modifiable = np.flatnonzero(flat_mask[index])
+                if len(modifiable) <= 2:
+                    continue
+                order = np.argsort(contribution[index, modifiable])
+                freeze = modifiable[order[: max(1, int(len(modifiable) * self.freeze_fraction))]]
+                flat_mask[index, freeze] = 0.0
+        return self._finish(best_adv, labels, target_labels=targets)

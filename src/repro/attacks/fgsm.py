@@ -1,0 +1,25 @@
+"""Fast gradient sign method (Goodfellow et al. 2014)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult, input_gradient
+from repro.nn.sequential import ProbedSequential
+
+
+class FGSM(Attack):
+    """One signed gradient step of size ``epsilon`` (untargeted)."""
+
+    name = "fgsm"
+
+    def __init__(self, model: ProbedSequential, epsilon: float = 0.3) -> None:
+        super().__init__(model)
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+
+    def generate(self, images: np.ndarray, labels: np.ndarray) -> AttackResult:
+        gradient = input_gradient(self.model, images, labels)
+        adversarial = np.clip(images + self.epsilon * np.sign(gradient), 0.0, 1.0)
+        return self._finish(adversarial, labels)

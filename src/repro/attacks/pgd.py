@@ -1,0 +1,67 @@
+"""Projected gradient descent attack (Madry et al., ICLR 2018).
+
+BIM with a random start inside the ε-ball and multiple restarts — the
+canonical first-order adversary. Referenced by the paper ([38]) as one of
+the strong white-box attacks the detection literature targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult, input_gradient
+from repro.nn.sequential import ProbedSequential
+from repro.utils.rng import RngLike, new_rng
+
+
+class PGD(Attack):
+    """L∞ PGD with random restarts (untargeted)."""
+
+    name = "pgd"
+
+    def __init__(
+        self,
+        model: ProbedSequential,
+        epsilon: float = 0.3,
+        alpha: float = 0.03,
+        steps: int = 20,
+        restarts: int = 2,
+        rng: RngLike = 0,
+    ) -> None:
+        super().__init__(model)
+        if epsilon <= 0 or alpha <= 0:
+            raise ValueError("epsilon and alpha must be positive")
+        if steps < 1 or restarts < 1:
+            raise ValueError("steps and restarts must be >= 1")
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.steps = steps
+        self.restarts = restarts
+        self._rng = new_rng(rng)
+
+    def generate(self, images: np.ndarray, labels: np.ndarray) -> AttackResult:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels)
+        lower = np.clip(images - self.epsilon, 0.0, 1.0)
+        upper = np.clip(images + self.epsilon, 0.0, 1.0)
+
+        best = images.copy()
+        still_correct = np.ones(len(images), dtype=bool)
+        for _ in range(self.restarts):
+            start = images + self._rng.uniform(
+                -self.epsilon, self.epsilon, size=images.shape
+            )
+            adversarial = np.clip(start, lower, upper)
+            for _ in range(self.steps):
+                gradient = input_gradient(self.model, adversarial, labels)
+                adversarial = np.clip(
+                    adversarial + self.alpha * np.sign(gradient), lower, upper
+                )
+            predictions = self.model.predict(adversarial)
+            fooled = predictions != labels
+            newly = fooled & still_correct
+            best[newly] = adversarial[newly]
+            still_correct &= ~fooled
+            if not still_correct.any():
+                break
+        return self._finish(best, labels)

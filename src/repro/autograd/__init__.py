@@ -1,0 +1,53 @@
+"""A small reverse-mode automatic differentiation engine over numpy arrays.
+
+This is the computational substrate for the whole library: the CNN layers in
+:mod:`repro.nn` are built from these ops, and the white-box attacks in
+:mod:`repro.attacks` rely on the exact input gradients the tape provides.
+
+The design is a classic dynamic tape: each :class:`Tensor` records the
+tensors it was computed from and a closure that accumulates gradients into
+them; :meth:`Tensor.backward` walks the tape in reverse topological order.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd import ops
+from repro.autograd.ops import (
+    concat,
+    conv2d,
+    avg_pool2d,
+    exp,
+    log,
+    log_softmax,
+    max_pool2d,
+    maximum,
+    pad2d,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+    upsample2d,
+    where,
+)
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "ops",
+    "concat",
+    "conv2d",
+    "avg_pool2d",
+    "exp",
+    "log",
+    "log_softmax",
+    "max_pool2d",
+    "maximum",
+    "pad2d",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "tanh",
+    "upsample2d",
+    "where",
+    "gradcheck",
+]

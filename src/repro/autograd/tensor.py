@@ -1,0 +1,385 @@
+"""The :class:`Tensor` type: a numpy array plus a reverse-mode tape node.
+
+Gradients flow only through tensors with ``requires_grad=True`` (or tensors
+computed from them). Broadcasting follows numpy semantics; gradients of
+broadcast operands are reduced back to the operand's shape.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables tape recording (for pure inference)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def grad_enabled() -> bool:
+    """Whether tape recording is currently enabled."""
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shaped like a broadcast result) back to ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were broadcast from extent 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that records how it was computed.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts. Stored as ``float64`` by default so
+        gradient checks are exact; layers may pass ``dtype=np.float32``.
+    requires_grad:
+        Whether ``backward`` should accumulate a gradient into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        dtype: np.dtype | None = None,
+        name: str | None = None,
+    ) -> None:
+        arr = np.asarray(data, dtype=dtype if dtype is not None else None)
+        if arr.dtype.kind in "iub":
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def as_tensor(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def from_op(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a tensor produced by an op, wiring the tape if enabled."""
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    # -- basic introspection ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (not a copy; treat as read-only)."""
+        return self.data
+
+    def item(self) -> float:
+        """The value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the tape."""
+        return Tensor(self.data)
+
+    # -- gradient accumulation -------------------------------------------------
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient (reducing broadcasts)."""
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument). Gradients
+        accumulate into every reachable tensor with ``requires_grad=True``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a scalar output"
+                )
+            grad = np.ones_like(self.data)
+
+        order = self._topological_order()
+        self.accumulate_grad(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _topological_order(self) -> list["Tensor"]:
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad)
+            if other.requires_grad:
+                other.accumulate_grad(grad)
+
+        return Tensor.from_op(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(-grad)
+
+        return Tensor.from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-Tensor.as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor.as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad * other.data)
+            if other.requires_grad:
+                other.accumulate_grad(grad * self.data)
+
+        return Tensor.from_op(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad / other.data)
+            if other.requires_grad:
+                other.accumulate_grad(-grad * self.data / (other.data**2))
+
+        return Tensor.from_op(data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor.as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor ** only supports scalar exponents")
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor.from_op(data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        if self.ndim != 2 or other.ndim != 2:
+            raise ValueError(
+                f"matmul expects 2-D tensors, got {self.shape} @ {other.shape}"
+            )
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad @ other.data.T)
+            if other.requires_grad:
+                other.accumulate_grad(self.data.T @ grad)
+
+        return Tensor.from_op(data, (self, other), backward)
+
+    # -- shape ops ---------------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """View the tensor with a new shape (differentiable)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad.reshape(original))
+
+        return Tensor.from_op(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes (differentiable); no args reverses them."""
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad.transpose(inverse))
+
+        return Tensor.from_op(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self.accumulate_grad(full)
+
+        return Tensor.from_op(data, (self,), backward)
+
+    # -- reductions ----------------------------------------------------------------
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (differentiable)."""
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                g = np.expand_dims(g, axes)
+            self.accumulate_grad(np.broadcast_to(g, self.data.shape))
+
+        return Tensor.from_op(data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (differentiable)."""
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient splits evenly among ties."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            d = data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                d = np.expand_dims(d, axis)
+            mask = (self.data == d).astype(self.data.dtype)
+            # Split gradient evenly among ties so the total is conserved.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self.accumulate_grad(mask * g / counts)
+
+        return Tensor.from_op(data, (self,), backward)
+
+    # -- misc -----------------------------------------------------------------------
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values into [low, high]; gradient flows inside the box."""
+        data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inside = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
+                self.accumulate_grad(grad * inside)
+
+        return Tensor.from_op(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value."""
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad * np.sign(self.data))
+
+        return Tensor.from_op(data, (self,), backward)

@@ -1,0 +1,140 @@
+"""Calibrating discrepancies into invalidity probabilities.
+
+The joint discrepancy ``d`` is a raw score; operators reason better in
+probabilities ("this input is 97 % likely to be a corner case"). Two
+classic calibrators over a labelled calibration set (clean vs corner):
+
+* :class:`PlattCalibrator` — a sigmoid ``p = 1 / (1 + exp(a d + b))``
+  fitted by logistic regression (Platt 1999).
+* :class:`IsotonicCalibrator` — non-parametric monotone regression via the
+  pool-adjacent-violators algorithm; makes no shape assumption beyond
+  "higher discrepancy means more likely invalid".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_inputs(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise ValueError("scores and labels must be equal-length 1-D arrays")
+    unique = set(np.unique(labels).tolist())
+    if not unique <= {0.0, 1.0} or len(unique) < 2:
+        raise ValueError("labels must contain both 0s and 1s")
+    return scores, labels
+
+
+class PlattCalibrator:
+    """Sigmoid calibration of anomaly scores into probabilities."""
+
+    def __init__(self, iterations: int = 500, lr: float = 0.1) -> None:
+        self.iterations = iterations
+        self.lr = lr
+        self.slope_: float | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, scores: np.ndarray, labels: np.ndarray) -> "PlattCalibrator":
+        """Fit the sigmoid on (score, 0/1-label) calibration pairs."""
+        scores, labels = _check_inputs(scores, labels)
+        # Standardise for stable optimisation; fold back afterwards.
+        mean, std = scores.mean(), scores.std() or 1.0
+        z = (scores - mean) / std
+        a, b = 1.0, 0.0
+        n = len(z)
+        for _ in range(self.iterations):
+            p = 1.0 / (1.0 + np.exp(-(a * z + b)))
+            error = p - labels
+            grad_a = float((error * z).mean())
+            grad_b = float(error.mean())
+            a -= self.lr * grad_a
+            b -= self.lr * grad_b
+        self.slope_ = a / std
+        self.intercept_ = b - a * mean / std
+        return self
+
+    def predict_proba(self, scores: np.ndarray) -> np.ndarray:
+        """Calibrated invalidity probability for each score."""
+        if self.slope_ is None:
+            raise RuntimeError("PlattCalibrator is not fitted")
+        scores = np.asarray(scores, dtype=np.float64)
+        return 1.0 / (1.0 + np.exp(-(self.slope_ * scores + self.intercept_)))
+
+
+def pool_adjacent_violators(values: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Isotonic (non-decreasing) regression by pool-adjacent-violators.
+
+    Returns the non-decreasing sequence minimising weighted squared error
+    to ``values``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = (
+        np.ones_like(values) if weights is None else np.asarray(weights, dtype=np.float64)
+    )
+    if values.shape != weights.shape or values.ndim != 1:
+        raise ValueError("values and weights must be equal-length 1-D arrays")
+    # Blocks of (mean, weight, count), merged while order is violated.
+    means: list[float] = []
+    block_weights: list[float] = []
+    counts: list[int] = []
+    for value, weight in zip(values, weights):
+        means.append(float(value))
+        block_weights.append(float(weight))
+        counts.append(1)
+        while len(means) > 1 and means[-2] > means[-1]:
+            total = block_weights[-2] + block_weights[-1]
+            merged = (
+                means[-2] * block_weights[-2] + means[-1] * block_weights[-1]
+            ) / total
+            means[-2:] = [merged]
+            block_weights[-2:] = [total]
+            counts[-2:] = [counts[-2] + counts[-1]]
+    return np.repeat(means, counts)
+
+
+class IsotonicCalibrator:
+    """Monotone non-parametric calibration of anomaly scores."""
+
+    def __init__(self) -> None:
+        self.scores_: np.ndarray | None = None
+        self.probabilities_: np.ndarray | None = None
+
+    def fit(self, scores: np.ndarray, labels: np.ndarray) -> "IsotonicCalibrator":
+        """Fit the monotone step function on calibration pairs."""
+        scores, labels = _check_inputs(scores, labels)
+        order = np.argsort(scores, kind="mergesort")
+        self.scores_ = scores[order]
+        self.probabilities_ = pool_adjacent_violators(labels[order])
+        return self
+
+    def predict_proba(self, scores: np.ndarray) -> np.ndarray:
+        """Step-interpolated calibrated probability for each score."""
+        if self.scores_ is None:
+            raise RuntimeError("IsotonicCalibrator is not fitted")
+        scores = np.asarray(scores, dtype=np.float64)
+        indices = np.searchsorted(self.scores_, scores, side="right") - 1
+        indices = np.clip(indices, 0, len(self.probabilities_) - 1)
+        return self.probabilities_[indices]
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, bins: int = 10
+) -> float:
+    """ECE: mean |empirical frequency − predicted probability| over bins."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities and labels must have equal shape")
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    total = len(probabilities)
+    ece = 0.0
+    for low, high in zip(edges[:-1], edges[1:]):
+        mask = (probabilities >= low) & (
+            (probabilities < high) if high < 1.0 else (probabilities <= high)
+        )
+        if not mask.any():
+            continue
+        ece += mask.sum() / total * abs(labels[mask].mean() - probabilities[mask].mean())
+    return float(ece)

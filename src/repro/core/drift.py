@@ -1,0 +1,109 @@
+"""Operational drift detection over the discrepancy stream.
+
+Section IV-D6's early-warning story, systematised: a deployed system does
+not only care about flagging individual inputs — a *rising rejection rate*
+(or rising discrepancy level) signals that the whole operating environment
+has shifted and the system is running at elevated risk. This module
+monitors the stream of joint discrepancies with an exponentially weighted
+moving average and raises an alarm when the level leaves the band
+calibrated on clean traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DriftState:
+    """Snapshot of the drift monitor after an observation."""
+
+    level: float
+    threshold: float
+    alarming: bool
+    observations: int
+
+
+class DiscrepancyDriftMonitor:
+    """EWMA monitor over joint discrepancies with a clean-calibrated alarm.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in (0, 1]; smaller = smoother, slower.
+    sigmas:
+        Alarm threshold in calibration standard deviations above the
+        calibration mean of the *smoothed* level.
+    warmup:
+        Observations required before alarms may fire (EWMA burn-in).
+    """
+
+    def __init__(self, alpha: float = 0.1, sigmas: float = 4.0, warmup: int = 10) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if sigmas <= 0:
+            raise ValueError(f"sigmas must be positive, got {sigmas}")
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        self.alpha = alpha
+        self.sigmas = sigmas
+        self.warmup = warmup
+        self._threshold: float | None = None
+        self._level: float | None = None
+        self._count = 0
+
+    # -- calibration -----------------------------------------------------------
+
+    def calibrate(self, clean_discrepancies: np.ndarray) -> float:
+        """Set the alarm threshold from clean-traffic discrepancies.
+
+        The EWMA of i.i.d. clean scores has mean ``mu`` and standard
+        deviation ``sigma * sqrt(alpha / (2 - alpha))``; the threshold sits
+        ``sigmas`` of those above the mean.
+        """
+        scores = np.asarray(clean_discrepancies, dtype=np.float64)
+        if len(scores) < 2:
+            raise ValueError("need at least two clean scores to calibrate")
+        mu = float(scores.mean())
+        sigma = float(scores.std())
+        ewma_sigma = sigma * np.sqrt(self.alpha / (2.0 - self.alpha))
+        self._threshold = mu + self.sigmas * ewma_sigma
+        self._calibration_mean = mu
+        self._level = mu
+        self._count = 0
+        return self._threshold
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise RuntimeError("monitor is not calibrated")
+        return self._threshold
+
+    # -- streaming --------------------------------------------------------------
+
+    def observe(self, discrepancy: float) -> DriftState:
+        """Feed one joint-discrepancy observation; returns the new state."""
+        if self._threshold is None:
+            raise RuntimeError("monitor is not calibrated")
+        self._level = (1 - self.alpha) * self._level + self.alpha * float(discrepancy)
+        self._count += 1
+        alarming = self._count >= self.warmup and self._level > self._threshold
+        return DriftState(
+            level=self._level,
+            threshold=self._threshold,
+            alarming=alarming,
+            observations=self._count,
+        )
+
+    def observe_batch(self, discrepancies: np.ndarray) -> list[DriftState]:
+        """Feed a sequence of observations in order."""
+        return [self.observe(value) for value in np.asarray(discrepancies, dtype=np.float64)]
+
+    def reset_stream(self) -> None:
+        """Restart the stream (keeping the calibration)."""
+        if self._threshold is None:
+            raise RuntimeError("monitor is not calibrated")
+        self._count = 0
+        self._level = self._calibration_mean

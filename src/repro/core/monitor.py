@@ -1,0 +1,84 @@
+"""Runtime monitoring façade: the fail-safe deployment wrapper.
+
+The paper motivates Deep Validation as a fail-safe building block: when the
+joint discrepancy of an input exceeds the threshold, the system should
+withhold the classifier's decision and call for human intervention. This
+module packages that behaviour behind a single ``classify`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.validator import DeepValidator
+
+
+@dataclass
+class ValidationVerdict:
+    """Outcome of classifying one image under runtime validation."""
+
+    prediction: int
+    joint_discrepancy: float
+    per_layer: np.ndarray
+    accepted: bool
+
+    def __repr__(self) -> str:
+        status = "accepted" if self.accepted else "REJECTED"
+        return (
+            f"ValidationVerdict(prediction={self.prediction}, "
+            f"d={self.joint_discrepancy:.4f}, {status})"
+        )
+
+
+class RuntimeMonitor:
+    """Wraps a fitted :class:`DeepValidator` into a guarded classifier.
+
+    Parameters
+    ----------
+    validator:
+        A fitted ``DeepValidator`` with a calibrated ``epsilon``.
+    on_reject:
+        Optional callback invoked with each rejected verdict — the hook for
+        human intervention / fail-safe handling.
+    """
+
+    def __init__(
+        self,
+        validator: DeepValidator,
+        on_reject: Callable[[ValidationVerdict], None] | None = None,
+    ) -> None:
+        self.validator = validator
+        self.on_reject = on_reject
+        self.stats = {"accepted": 0, "rejected": 0}
+
+    def classify(self, images: np.ndarray) -> list[ValidationVerdict]:
+        """Classify a batch, validating every internal state (Figure 1)."""
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        predictions, per_layer = self.validator.discrepancies(images)
+        joints = self.validator.combine(per_layer)
+        verdicts = []
+        for prediction, row, joint in zip(predictions, per_layer, joints):
+            accepted = bool(joint <= self.validator.epsilon)
+            verdict = ValidationVerdict(
+                prediction=int(prediction),
+                joint_discrepancy=float(joint),
+                per_layer=row,
+                accepted=accepted,
+            )
+            self.stats["accepted" if accepted else "rejected"] += 1
+            if not accepted and self.on_reject is not None:
+                self.on_reject(verdict)
+            verdicts.append(verdict)
+        return verdicts
+
+    @property
+    def rejection_rate(self) -> float:
+        total = self.stats["accepted"] + self.stats["rejected"]
+        if total == 0:
+            raise ValueError("no images classified yet")
+        return self.stats["rejected"] / total

@@ -1,0 +1,82 @@
+"""Dependability/efficiency trade-off via validator subset selection.
+
+The paper's conclusion calls the flexibility "that allows a trade-off
+between ultra dependability and high efficiency" an exciting direction: the
+overhead of Deep Validation scales with the number of validated layers, so
+picking the most informative subset buys speed at a controlled detection
+cost. This module implements greedy forward selection over layers, scoring
+each candidate subset by ROC-AUC of the joint (summed) discrepancy on a
+calibration set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.roc import roc_auc_score
+
+
+@dataclass
+class SelectionStep:
+    """One step of the greedy trade-off curve."""
+
+    layers: list[int]
+    auc: float
+
+    def __repr__(self) -> str:
+        return f"SelectionStep(layers={self.layers}, auc={self.auc:.4f})"
+
+
+def greedy_layer_selection(
+    clean: np.ndarray,
+    corner: np.ndarray,
+    max_layers: int | None = None,
+) -> list[SelectionStep]:
+    """Greedy forward selection of validated layers.
+
+    ``clean`` and ``corner`` are per-layer discrepancy matrices
+    (samples × layers) from a fitted all-layer validator. Returns the
+    trade-off curve: at step k, the best k-layer subset found greedily and
+    its joint-sum ROC-AUC. The curve lets a deployment pick the smallest
+    subset meeting its detection target.
+    """
+    clean = np.asarray(clean, dtype=np.float64)
+    corner = np.asarray(corner, dtype=np.float64)
+    if clean.ndim != 2 or corner.ndim != 2 or clean.shape[1] != corner.shape[1]:
+        raise ValueError("clean and corner must be (samples x layers) with equal layers")
+    total_layers = clean.shape[1]
+    if total_layers == 0:
+        raise ValueError("need at least one layer")
+    budget = total_layers if max_layers is None else min(max_layers, total_layers)
+
+    labels = np.concatenate([np.zeros(len(clean)), np.ones(len(corner))])
+    stacked = np.concatenate([clean, corner], axis=0)
+
+    def subset_auc(layers: list[int]) -> float:
+        return roc_auc_score(labels, stacked[:, layers].sum(axis=1))
+
+    chosen: list[int] = []
+    curve: list[SelectionStep] = []
+    remaining = set(range(total_layers))
+    for _ in range(budget):
+        best_layer, best_auc = None, -1.0
+        for layer in sorted(remaining):
+            score = subset_auc(chosen + [layer])
+            if score > best_auc:
+                best_layer, best_auc = layer, score
+        chosen = chosen + [best_layer]
+        remaining.discard(best_layer)
+        curve.append(SelectionStep(layers=list(chosen), auc=best_auc))
+    return curve
+
+
+def smallest_subset_reaching(
+    curve: list[SelectionStep], target_auc: float
+) -> SelectionStep | None:
+    """First (cheapest) step on the curve meeting ``target_auc``, if any."""
+    for step in curve:
+        if step.auc >= target_auc:
+            return step
+    return None

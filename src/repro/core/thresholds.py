@@ -1,0 +1,31 @@
+"""Threshold calibration strategies for the joint discrepancy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.rates import threshold_at_fpr
+
+
+def centroid_threshold(clean_scores: np.ndarray, corner_scores: np.ndarray) -> float:
+    """Midpoint between the clean and corner-case score centroids.
+
+    The paper's suggested operating point (Section IV-D3): legitimate images
+    concentrate at negative discrepancy, successful corner cases at positive
+    discrepancy, so the centre between both centroids balances TPR and FPR.
+    """
+    clean_scores = np.asarray(clean_scores, dtype=np.float64)
+    corner_scores = np.asarray(corner_scores, dtype=np.float64)
+    if len(clean_scores) == 0 or len(corner_scores) == 0:
+        raise ValueError("both score populations must be non-empty")
+    return float((clean_scores.mean() + corner_scores.mean()) / 2.0)
+
+
+def fpr_calibrated_threshold(clean_scores: np.ndarray, target_fpr: float) -> float:
+    """Threshold achieving at most ``target_fpr`` on clean data.
+
+    Deployment often fixes an acceptable false-alarm budget instead of
+    assuming corner cases are available for calibration; this only needs
+    clean scores.
+    """
+    return threshold_at_fpr(np.asarray(clean_scores, dtype=np.float64), target_fpr)

@@ -1,0 +1,42 @@
+"""Metamorphic corner-case generation (paper Sections III-A and IV-B).
+
+Seed images that the classifier handles correctly are pushed through
+naturally occurring transformations with grid-searched strength until the
+model's accuracy collapses — simulating the unexpected working-condition
+changes (illumination, camera pose, object movement) that produce
+real-world corner cases.
+"""
+
+from repro.corner.search_space import (
+    SEARCH_SPACES,
+    TransformationSpace,
+    spaces_for_dataset,
+)
+from repro.corner.search import SearchOutcome, grid_search, search_all_transformations
+from repro.corner.suite import CornerCaseSuite, TransformationResult, build_corner_case_suite
+from repro.corner.sweep import (
+    DistortionSweep,
+    SweepLevel,
+    early_warning_correlation,
+    run_distortion_sweep,
+)
+from repro.corner.coverage import CoverageReport, NeuronCoverage, coverage_gain
+
+__all__ = [
+    "SEARCH_SPACES",
+    "TransformationSpace",
+    "spaces_for_dataset",
+    "SearchOutcome",
+    "grid_search",
+    "search_all_transformations",
+    "CornerCaseSuite",
+    "TransformationResult",
+    "build_corner_case_suite",
+    "DistortionSweep",
+    "SweepLevel",
+    "early_warning_correlation",
+    "run_distortion_sweep",
+    "CoverageReport",
+    "NeuronCoverage",
+    "coverage_gain",
+]

@@ -1,0 +1,134 @@
+"""Neuron coverage (DeepXplore, Pei et al. 2017 — the paper's reference [57]).
+
+The DNN-testing literature the paper builds on measures test adequacy by
+*neuron coverage*: the fraction of neurons whose activation exceeds a
+threshold for at least one input. Corner cases are interesting precisely
+because they activate network regions clean data never reaches; this module
+quantifies that, linking the runtime-detection view (Deep Validation) to
+the testing view (DeepXplore/DeepTest).
+
+Activations are taken at the probe points of a
+:class:`~repro.nn.sequential.ProbedSequential`, min-max scaled per neuron
+as in DeepXplore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.sequential import ProbedSequential
+
+
+@dataclass
+class CoverageReport:
+    """Coverage state per layer plus the aggregate."""
+
+    layer_names: list[str]
+    covered_per_layer: list[int]
+    neurons_per_layer: list[int]
+
+    @property
+    def total_neurons(self) -> int:
+        return sum(self.neurons_per_layer)
+
+    @property
+    def total_covered(self) -> int:
+        return sum(self.covered_per_layer)
+
+    @property
+    def coverage(self) -> float:
+        return self.total_covered / self.total_neurons
+
+    def layer_coverage(self) -> dict[str, float]:
+        """Per-layer coverage fraction, keyed by probe name."""
+        return {
+            name: covered / neurons
+            for name, covered, neurons in zip(
+                self.layer_names, self.covered_per_layer, self.neurons_per_layer
+            )
+        }
+
+
+class NeuronCoverage:
+    """Tracks threshold neuron coverage across batches of inputs.
+
+    Per DeepXplore, each neuron's activation is min-max scaled *within its
+    layer for each input*, and the neuron counts as covered when its scaled
+    activation exceeds ``threshold`` for any seen input. Convolutional maps
+    are reduced per channel by their spatial mean (DeepXplore's treatment of
+    feature maps).
+    """
+
+    def __init__(self, model: ProbedSequential, threshold: float = 0.5) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+        self.model = model
+        self.threshold = threshold
+        self._covered: list[np.ndarray] | None = None
+
+    def _neuron_activations(self, images: np.ndarray) -> list[np.ndarray]:
+        """Per-layer (N, neurons) activations with conv maps channel-pooled."""
+        self.model.eval()
+        from repro.autograd.tensor import Tensor, no_grad
+
+        layers: list[list[np.ndarray]] = []
+        with no_grad():
+            for start in range(0, len(images), 256):
+                batch = Tensor(images[start : start + 256].astype(np.float32, copy=False))
+                _, probes = self.model.forward_probes(batch)
+                for index, probe in enumerate(probes):
+                    data = probe.data
+                    if data.ndim == 4:
+                        data = data.mean(axis=(2, 3))
+                    if start == 0:
+                        layers.append([data])
+                    else:
+                        layers[index].append(data)
+        return [np.concatenate(chunks, axis=0) for chunks in layers]
+
+    def update(self, images: np.ndarray) -> "NeuronCoverage":
+        """Fold a batch of inputs into the coverage state."""
+        activations = self._neuron_activations(images)
+        if self._covered is None:
+            self._covered = [np.zeros(a.shape[1], dtype=bool) for a in activations]
+        for covered, layer in zip(self._covered, activations):
+            low = layer.min(axis=1, keepdims=True)
+            high = layer.max(axis=1, keepdims=True)
+            scaled = (layer - low) / np.maximum(high - low, 1e-12)
+            covered |= (scaled > self.threshold).any(axis=0)
+        return self
+
+    def report(self) -> CoverageReport:
+        """Snapshot the coverage state accumulated so far."""
+        if self._covered is None:
+            raise RuntimeError("no inputs observed yet")
+        return CoverageReport(
+            layer_names=self.model.probe_names,
+            covered_per_layer=[int(c.sum()) for c in self._covered],
+            neurons_per_layer=[len(c) for c in self._covered],
+        )
+
+    def reset(self) -> None:
+        """Forget all observed inputs."""
+        self._covered = None
+
+
+def coverage_gain(
+    model: ProbedSequential,
+    base_images: np.ndarray,
+    extra_images: np.ndarray,
+    threshold: float = 0.5,
+) -> tuple[CoverageReport, CoverageReport]:
+    """Coverage before and after adding ``extra_images`` to ``base_images``.
+
+    The DeepXplore-style question: do the extra inputs (e.g. corner cases)
+    exercise neurons the base (clean) inputs never reached?
+    """
+    tracker = NeuronCoverage(model, threshold=threshold)
+    tracker.update(base_images)
+    base_report = tracker.report()
+    tracker.update(extra_images)
+    combined_report = tracker.report()
+    return base_report, combined_report

@@ -1,0 +1,135 @@
+"""Trial-and-error grid search for error-inducing transform strengths.
+
+Implements the paper's search strategy (Section III-A2 / IV-B): apply a
+transformation with growing distortion to a fixed seed set, monitor the
+model's success rate (1 − accuracy), stop at roughly 60 % success, and
+discard transformations that never exceed 30 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corner.search_space import TransformationSpace
+from repro.nn.sequential import ProbedSequential
+from repro.transforms.compose import Transform
+
+#: The paper stops individual searches at about this success rate.
+TARGET_SUCCESS_RATE = 0.6
+#: Transformations that never reach this success rate are dropped.
+MIN_SUCCESS_RATE = 0.3
+
+
+@dataclass
+class SearchOutcome:
+    """Result of searching one transformation family."""
+
+    transformation: str
+    config: Transform | None
+    success_rate: float
+    mean_confidence: float
+    viable: bool
+    history: list[tuple[str, float]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line summary of the search outcome for reports."""
+        if not self.viable:
+            return f"{self.transformation}: not viable (best {self.success_rate:.2f})"
+        return (
+            f"{self.transformation}: {self.config.describe()} "
+            f"success={self.success_rate:.3f} confidence={self.mean_confidence:.3f}"
+        )
+
+
+def evaluate_config(
+    model: ProbedSequential,
+    config: Transform,
+    seeds: np.ndarray,
+    labels: np.ndarray,
+) -> tuple[float, float, np.ndarray]:
+    """``(success rate, mean top-1 confidence, transformed images)``.
+
+    Success rate is ``1 - accuracy`` on the transformed seeds; confidence is
+    the model's mean top-1 probability on them (Table V's last column).
+    """
+    transformed = config(seeds)
+    probabilities = model.predict_proba(transformed)
+    predictions = probabilities.argmax(axis=1)
+    success = float((predictions != labels).mean())
+    confidence = float(probabilities.max(axis=1).mean())
+    return success, confidence, transformed
+
+
+def grid_search(
+    model: ProbedSequential,
+    space: TransformationSpace,
+    seeds: np.ndarray,
+    labels: np.ndarray,
+    target_success: float = TARGET_SUCCESS_RATE,
+    min_success: float = MIN_SUCCESS_RATE,
+    scan_seeds: int = 100,
+    max_configs: int = 120,
+) -> SearchOutcome:
+    """Search ``space`` in increasing strength until the model breaks.
+
+    Stops at the first configuration whose success rate reaches
+    ``target_success``; otherwise keeps the best configuration seen and
+    marks the transformation non-viable if that best never exceeded
+    ``min_success``.
+
+    Two cost controls keep the trial-and-error loop tractable on a laptop:
+    the scan phase evaluates only the first ``scan_seeds`` seed images
+    (the winning configuration is re-scored on the full seed set), and
+    spaces larger than ``max_configs`` are subsampled uniformly in strength
+    order.
+    """
+    configs = list(space.configs)
+    if len(configs) > max_configs:
+        picks = np.linspace(0, len(configs) - 1, max_configs).round().astype(int)
+        configs = [configs[i] for i in np.unique(picks)]
+    scan = slice(0, min(scan_seeds, len(seeds)))
+
+    best: tuple[float, float, Transform] | None = None
+    history: list[tuple[str, float]] = []
+    chosen: Transform | None = None
+    for config in configs:
+        success, confidence, _ = evaluate_config(model, config, seeds[scan], labels[scan])
+        history.append((config.describe(), success))
+        if best is None or success > best[0]:
+            best = (success, confidence, config)
+        if success >= target_success:
+            chosen = config
+            break
+    if chosen is None:
+        chosen = best[2]
+    # Re-score the chosen configuration on the full seed set.
+    success, confidence, _ = evaluate_config(model, chosen, seeds, labels)
+    viable = success > min_success
+    return SearchOutcome(
+        transformation=space.name,
+        config=chosen if viable else None,
+        success_rate=success,
+        mean_confidence=confidence,
+        viable=viable,
+        history=history,
+    )
+
+
+def search_all_transformations(
+    model: ProbedSequential,
+    spaces: list[TransformationSpace],
+    seeds: np.ndarray,
+    labels: np.ndarray,
+    target_success: float = TARGET_SUCCESS_RATE,
+    min_success: float = MIN_SUCCESS_RATE,
+    scan_seeds: int = 100,
+) -> list[SearchOutcome]:
+    """Run :func:`grid_search` over every applicable transformation family."""
+    return [
+        grid_search(
+            model, space, seeds, labels, target_success, min_success, scan_seeds
+        )
+        for space in spaces
+    ]

@@ -1,0 +1,162 @@
+"""Transformation search spaces (paper Table IV).
+
+Each space enumerates parameterised transforms in increasing distortion
+strength. Two-parameter transforms enumerate the full grid ordered by
+strength level (rings of the grid), so asymmetric configurations like the
+paper's shear ``(0.2, 0.3)`` or translation ``(4, 3)`` are reachable before
+the symmetric extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.transforms.compose import (
+    Brightness,
+    Complement,
+    Contrast,
+    Rotation,
+    Scale,
+    Shear,
+    Transform,
+    Translation,
+)
+
+
+@dataclass(frozen=True)
+class TransformationSpace:
+    """An ordered family of increasingly strong transforms of one kind."""
+
+    name: str
+    configs: tuple[Transform, ...]
+    greyscale_only: bool = False
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+
+def _strength_ordered_grid(
+    values_a: Sequence[float], values_b: Sequence[float]
+) -> list[tuple[float, float]]:
+    """All (a, b) grid points ordered by ring level then taxicab strength.
+
+    Level of ``(a, b)`` is ``max(index_a, index_b)`` — the outermost grid
+    ring it belongs to. Within a level, points are ordered by total index so
+    milder asymmetric combinations come first. The all-zero origin (identity
+    transform) is skipped.
+    """
+    points = []
+    for ia, a in enumerate(values_a):
+        for ib, b in enumerate(values_b):
+            if ia == 0 and ib == 0:
+                continue
+            points.append((max(ia, ib), ia + ib, a, b))
+    points.sort()
+    return [(a, b) for _, _, a, b in points]
+
+
+def _brightness_space() -> TransformationSpace:
+    # Table IV: bias 0 through 0.95 step 0.004 — subsampled to keep search
+    # tractable while preserving the fine-grained early region.
+    biases = np.round(np.arange(0.02, 0.96, 0.01), 4)
+    return TransformationSpace(
+        "brightness", tuple(Brightness(float(b)) for b in biases)
+    )
+
+
+def _contrast_space() -> TransformationSpace:
+    # Table IV: gain 0 through 5.0 step 0.1. Gains below 1 darken, above 1
+    # brighten; distortion strength grows with |alpha - 1| so the sequence
+    # interleaves both directions in increasing strength.
+    ups = np.round(np.arange(1.1, 5.01, 0.1), 4)
+    downs = np.round(np.arange(0.9, 0.0, -0.1), 4)
+    ordered: list[float] = []
+    i = j = 0
+    while i < len(ups) or j < len(downs):
+        if i < len(ups):
+            ordered.append(float(ups[i]))
+            i += 1
+        if j < len(downs):
+            ordered.append(float(downs[j]))
+            j += 1
+    return TransformationSpace("contrast", tuple(Contrast(a) for a in ordered))
+
+
+def _rotation_space() -> TransformationSpace:
+    # Table IV: 1 through 70 degrees, step 1.
+    return TransformationSpace(
+        "rotation", tuple(Rotation(float(t)) for t in range(1, 71))
+    )
+
+
+def _shear_space() -> TransformationSpace:
+    # Table IV: (0, 0) through (0.5, 0.5), step (0.1, 0.1).
+    values = np.round(np.arange(0.0, 0.51, 0.1), 4)
+    pairs = _strength_ordered_grid(values, values)
+    return TransformationSpace(
+        "shear", tuple(Shear(float(a), float(b)) for a, b in pairs)
+    )
+
+
+def _scale_space() -> TransformationSpace:
+    # Table IV: (1, 1) through (0.4, 0.4), step (0.1, 0.1) — shrinking.
+    values = np.round(np.arange(1.0, 0.39, -0.1), 4)
+    pairs = _strength_ordered_grid(values, values)
+    return TransformationSpace(
+        "scale", tuple(Scale(float(a), float(b)) for a, b in pairs)
+    )
+
+
+def _translation_space() -> TransformationSpace:
+    # Table IV: (0, 0) through (18, 18), step (1, 1).
+    values = np.arange(0.0, 19.0, 1.0)
+    pairs = _strength_ordered_grid(values, values)
+    return TransformationSpace(
+        "translation", tuple(Translation(float(a), float(b)) for a, b in pairs)
+    )
+
+
+def _complement_space() -> TransformationSpace:
+    # Complement has no strength parameter (maximum pixel value 1.0) and is
+    # only applied to greyscale datasets.
+    return TransformationSpace("complement", (Complement(1.0),), greyscale_only=True)
+
+
+SEARCH_SPACES: dict[str, TransformationSpace] = {
+    space.name: space
+    for space in (
+        _brightness_space(),
+        _contrast_space(),
+        _rotation_space(),
+        _shear_space(),
+        _scale_space(),
+        _translation_space(),
+        _complement_space(),
+    )
+}
+
+#: The paper's presentation order for transformation rows (Table V).
+TRANSFORMATION_ORDER = (
+    "brightness",
+    "contrast",
+    "rotation",
+    "shear",
+    "scale",
+    "translation",
+    "complement",
+)
+
+
+def spaces_for_dataset(channels: int) -> list[TransformationSpace]:
+    """Search spaces applicable to a dataset with ``channels`` channels.
+
+    Complement is restricted to greyscale datasets (paper Section III-A1).
+    """
+    return [
+        SEARCH_SPACES[name]
+        for name in TRANSFORMATION_ORDER
+        if channels == 1 or not SEARCH_SPACES[name].greyscale_only
+    ]

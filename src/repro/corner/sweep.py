@@ -1,0 +1,124 @@
+"""Distortion sweeps: detection behaviour under growing transformation strength.
+
+Section IV-D6 evaluates detectors "under this dynamic setting": instead of
+one searched operating point per transformation, a whole strength range is
+swept and, at a matched clean false-positive rate, the detection rate is
+tracked separately for successful (SCC) and failed (FCC) corner cases.
+Figure 4 is one instance of this; the machinery here generalises it to any
+parameterised transform family and any score function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.metrics.rates import threshold_at_fpr, true_positive_rate
+from repro.transforms.compose import Transform
+
+
+@dataclass
+class SweepLevel:
+    """Measurements at one distortion strength."""
+
+    config: Transform
+    success_rate: float
+    scc_count: int
+    fcc_count: int
+    detection_scc: float | None
+    detection_fcc: float | None
+
+    @property
+    def label(self) -> str:
+        return self.config.describe()
+
+
+@dataclass
+class DistortionSweep:
+    """A full sweep: per-level results at a fixed clean FPR."""
+
+    detector_name: str
+    fpr: float
+    threshold: float
+    levels: list[SweepLevel]
+
+    def success_rates(self) -> list[float]:
+        """Per-level corner-case success rates."""
+        return [level.success_rate for level in self.levels]
+
+    def scc_detection(self) -> list[float | None]:
+        """Per-level detection rate on successful corner cases."""
+        return [level.detection_scc for level in self.levels]
+
+    def fcc_detection(self) -> list[float | None]:
+        """Per-level detection rate on failed corner cases."""
+        return [level.detection_fcc for level in self.levels]
+
+
+def run_distortion_sweep(
+    model,
+    score_fn: Callable[[np.ndarray], np.ndarray],
+    configs: Sequence[Transform],
+    seeds: np.ndarray,
+    labels: np.ndarray,
+    clean_scores: np.ndarray,
+    fpr: float = 0.059,
+    detector_name: str = "detector",
+) -> DistortionSweep:
+    """Sweep ``configs`` over ``seeds`` at a matched clean-data FPR.
+
+    ``score_fn`` maps an image batch to anomaly scores (higher = more
+    anomalous); the threshold is pinned so that at most ``fpr`` of
+    ``clean_scores`` exceed it, as the paper does for Figure 4.
+    """
+    if len(seeds) != len(labels):
+        raise ValueError("seeds and labels must have equal length")
+    threshold = threshold_at_fpr(np.asarray(clean_scores, dtype=np.float64), fpr)
+    levels = []
+    for config in configs:
+        transformed = config(seeds)
+        predictions = model.predict(transformed)
+        scc_mask = predictions != labels
+        scores = np.asarray(score_fn(transformed), dtype=np.float64)
+
+        def rate(mask: np.ndarray) -> float | None:
+            if not mask.any():
+                return None
+            return true_positive_rate(scores[mask], threshold)
+
+        levels.append(
+            SweepLevel(
+                config=config,
+                success_rate=float(scc_mask.mean()),
+                scc_count=int(scc_mask.sum()),
+                fcc_count=int((~scc_mask).sum()),
+                detection_scc=rate(scc_mask),
+                detection_fcc=rate(~scc_mask),
+            )
+        )
+    return DistortionSweep(
+        detector_name=detector_name, fpr=fpr, threshold=threshold, levels=levels
+    )
+
+
+def early_warning_correlation(sweep: DistortionSweep) -> float:
+    """Correlation between success rate and FCC detection across levels.
+
+    The paper's Section IV-D6 desideratum: FCC detection should grow
+    *proportionally to the success rate* — awareness of imminent danger.
+    Returns the Pearson correlation over levels where FCCs exist (``nan``
+    when fewer than two such levels).
+    """
+    pairs = [
+        (level.success_rate, level.detection_fcc)
+        for level in sweep.levels
+        if level.detection_fcc is not None
+    ]
+    if len(pairs) < 2:
+        return float("nan")
+    success, detection = map(np.asarray, zip(*pairs))
+    if success.std() == 0 or detection.std() == 0:
+        return float("nan")
+    return float(np.corrcoef(success, detection)[0, 1])

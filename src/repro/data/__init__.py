@@ -1,0 +1,24 @@
+"""Synthetic look-alike datasets standing in for MNIST / CIFAR-10 / SVHN.
+
+No network access is available in the reproduction environment, so the three
+benchmark datasets are replaced by procedurally generated equivalents that
+preserve the properties the paper's evaluation depends on: image geometry,
+channel count, ten classes, label semantics under natural transforms, and
+the relative noisiness ordering MNIST < CIFAR-10 < SVHN.
+"""
+
+from repro.data.datasets import DATASET_NAMES, Dataset, load_dataset, sample_seed_images
+from repro.data.mnist import generate_synth_mnist
+from repro.data.cifar import CIFAR_CLASS_NAMES, generate_synth_cifar
+from repro.data.svhn import generate_synth_svhn
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "load_dataset",
+    "sample_seed_images",
+    "generate_synth_mnist",
+    "generate_synth_cifar",
+    "generate_synth_svhn",
+    "CIFAR_CLASS_NAMES",
+]

@@ -1,0 +1,110 @@
+"""``synth-cifar``: a 32×32 colour natural-object look-alike with 10 classes.
+
+CIFAR-10's classes are natural objects; offline we substitute ten
+procedurally generated shape/texture categories whose within-class variation
+(colour, position, scale, noise) forces a CNN to learn genuinely spatial,
+multi-scale features — the property the paper's DenseNet experiments rely
+on — while remaining learnable at laptop scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.utils.rng import RngLike, new_rng
+
+IMAGE_SIZE = 32
+
+CIFAR_CLASS_NAMES = [
+    "disk",
+    "square",
+    "triangle",
+    "cross",
+    "ring",
+    "hstripes",
+    "vstripes",
+    "checker",
+    "diag",
+    "dots",
+]
+
+
+def _grid(size: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, float, float, float]:
+    """Pixel grids plus a jittered centre and scale for shape classes."""
+    ys, xs = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    cy = size / 2 + rng.uniform(-4, 4)
+    cx = size / 2 + rng.uniform(-4, 4)
+    radius = rng.uniform(0.25, 0.42) * size
+    return ys, xs, cy, cx, radius
+
+
+def _shape_mask(class_name: str, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Binary foreground mask for one of the ten classes."""
+    ys, xs, cy, cx, radius = _grid(size, rng)
+    dy, dx = ys - cy, xs - cx
+    if class_name == "disk":
+        return (dy**2 + dx**2 <= radius**2).astype(float)
+    if class_name == "square":
+        return ((np.abs(dy) <= radius * 0.8) & (np.abs(dx) <= radius * 0.8)).astype(float)
+    if class_name == "triangle":
+        height = radius * 1.6
+        inside = (dy >= -height / 2) & (dy <= height / 2)
+        half_width = (dy + height / 2) / height * radius
+        return (inside & (np.abs(dx) <= half_width)).astype(float)
+    if class_name == "cross":
+        arm = radius * 0.35
+        return (
+            ((np.abs(dx) <= arm) & (np.abs(dy) <= radius))
+            | ((np.abs(dy) <= arm) & (np.abs(dx) <= radius))
+        ).astype(float)
+    if class_name == "ring":
+        dist2 = dy**2 + dx**2
+        return ((dist2 <= radius**2) & (dist2 >= (radius * 0.55) ** 2)).astype(float)
+    if class_name == "hstripes":
+        period = rng.uniform(4.0, 7.0)
+        phase = rng.uniform(0, period)
+        return (((ys + phase) % period) < period / 2).astype(float)
+    if class_name == "vstripes":
+        period = rng.uniform(4.0, 7.0)
+        phase = rng.uniform(0, period)
+        return (((xs + phase) % period) < period / 2).astype(float)
+    if class_name == "checker":
+        period = rng.uniform(5.0, 9.0)
+        return ((((ys // (period / 2)) + (xs // (period / 2))) % 2) < 1).astype(float)
+    if class_name == "diag":
+        period = rng.uniform(5.0, 9.0)
+        phase = rng.uniform(0, period)
+        return (((ys + xs + phase) % period) < period / 2).astype(float)
+    if class_name == "dots":
+        period = rng.uniform(6.0, 9.0)
+        oy, ox = rng.uniform(0, period, size=2)
+        gy = ((ys + oy) % period) - period / 2
+        gx = ((xs + ox) % period) - period / 2
+        return (gy**2 + gx**2 <= (period * 0.28) ** 2).astype(float)
+    raise ValueError(f"unknown class {class_name!r}")
+
+
+def render_cifar_image(label: int, rng: np.random.Generator, size: int = IMAGE_SIZE) -> np.ndarray:
+    """Render one class instance as a (3, size, size) image in [0, 1]."""
+    class_name = CIFAR_CLASS_NAMES[label]
+    mask = _shape_mask(class_name, size, rng)[None]
+    background = rng.uniform(0.1, 0.9, size=3)[:, None, None]
+    foreground = rng.uniform(0.1, 0.9, size=3)[:, None, None]
+    # Guarantee figure/ground contrast so the class stays recognisable.
+    while np.abs(background - foreground).mean() < 0.25:
+        foreground = rng.uniform(0.0, 1.0, size=3)[:, None, None]
+    image = background * (1 - mask) + foreground * mask
+    image = gaussian_filter(image, sigma=(0, 0.5, 0.5))
+    image = image + rng.normal(0.0, 0.03, size=image.shape)
+    return np.clip(image, 0.0, 1.0)
+
+
+def generate_synth_cifar(
+    count: int, rng: RngLike = None, size: int = IMAGE_SIZE
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``count`` images/labels of the CIFAR look-alike."""
+    gen = new_rng(rng)
+    labels = gen.integers(0, 10, size=count)
+    images = np.stack([render_cifar_image(int(c), gen, size=size) for c in labels])
+    return images.astype(np.float64), labels.astype(np.int64)

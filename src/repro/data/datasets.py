@@ -1,0 +1,110 @@
+"""Dataset container and registry with standard train/test splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.cifar import CIFAR_CLASS_NAMES, generate_synth_cifar
+from repro.data.mnist import generate_synth_mnist
+from repro.data.svhn import generate_synth_svhn
+from repro.utils.rng import RngLike, new_rng, spawn_rngs
+
+DATASET_NAMES = ("synth-mnist", "synth-cifar", "synth-svhn")
+
+_GENERATORS = {
+    "synth-mnist": generate_synth_mnist,
+    "synth-cifar": generate_synth_cifar,
+    "synth-svhn": generate_synth_svhn,
+}
+
+_CLASS_NAMES = {
+    "synth-mnist": [str(d) for d in range(10)],
+    "synth-cifar": list(CIFAR_CLASS_NAMES),
+    "synth-svhn": [str(d) for d in range(10)],
+}
+
+
+@dataclass
+class Dataset:
+    """An image-classification dataset with a fixed train/test partition.
+
+    Images are ``(N, C, H, W)`` floats in ``[0, 1]``; labels are int64.
+    """
+
+    name: str
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    class_names: list[str]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        return tuple(self.train_images.shape[1:])
+
+    @property
+    def channels(self) -> int:
+        return self.image_shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, train={len(self.train_images)}, "
+            f"test={len(self.test_images)}, shape={self.image_shape})"
+        )
+
+
+def load_dataset(
+    name: str,
+    train_size: int = 3000,
+    test_size: int = 1000,
+    seed: RngLike = 0,
+) -> Dataset:
+    """Generate the named synthetic dataset with a standard partition.
+
+    The train and test partitions use independent RNG streams spawned from
+    ``seed``, so they are disjoint draws from the same distribution — the
+    analogue of the official train/test splits the paper engages.
+    """
+    if name not in _GENERATORS:
+        raise ValueError(f"unknown dataset {name!r}; available: {DATASET_NAMES}")
+    train_rng, test_rng = spawn_rngs(seed, 2)
+    generate = _GENERATORS[name]
+    train_images, train_labels = generate(train_size, rng=train_rng)
+    test_images, test_labels = generate(test_size, rng=test_rng)
+    return Dataset(
+        name=name,
+        train_images=train_images,
+        train_labels=train_labels,
+        test_images=test_images,
+        test_labels=test_labels,
+        class_names=_CLASS_NAMES[name],
+    )
+
+
+def sample_seed_images(
+    dataset: Dataset,
+    model,
+    count: int = 200,
+    rng: RngLike = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` correctly-classified clean test images (paper IV-B).
+
+    Seed images for corner-case synthesis must be classified correctly
+    before any modification; draws are random over the test set.
+    """
+    gen = new_rng(rng)
+    predictions = model.predict(dataset.test_images)
+    correct = np.flatnonzero(predictions == dataset.test_labels)
+    if len(correct) < count:
+        raise ValueError(
+            f"only {len(correct)} correctly classified test images available, "
+            f"need {count}"
+        )
+    chosen = gen.choice(correct, size=count, replace=False)
+    return dataset.test_images[chosen], dataset.test_labels[chosen]

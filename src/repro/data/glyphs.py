@@ -1,0 +1,130 @@
+"""Bitmap digit glyphs used to render the synthetic MNIST/SVHN look-alikes.
+
+A classic 5×7 pixel font; each glyph is a binary array. Renderers upsample,
+jitter, and smooth these into handwriting- or house-number-like digits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GLYPH_ROWS: dict[int, list[str]] = {
+    0: [
+        ".###.",
+        "#...#",
+        "#..##",
+        "#.#.#",
+        "##..#",
+        "#...#",
+        ".###.",
+    ],
+    1: [
+        "..#..",
+        ".##..",
+        "..#..",
+        "..#..",
+        "..#..",
+        "..#..",
+        ".###.",
+    ],
+    2: [
+        ".###.",
+        "#...#",
+        "....#",
+        "...#.",
+        "..#..",
+        ".#...",
+        "#####",
+    ],
+    3: [
+        ".###.",
+        "#...#",
+        "....#",
+        "..##.",
+        "....#",
+        "#...#",
+        ".###.",
+    ],
+    4: [
+        "...#.",
+        "..##.",
+        ".#.#.",
+        "#..#.",
+        "#####",
+        "...#.",
+        "...#.",
+    ],
+    5: [
+        "#####",
+        "#....",
+        "####.",
+        "....#",
+        "....#",
+        "#...#",
+        ".###.",
+    ],
+    6: [
+        ".###.",
+        "#....",
+        "#....",
+        "####.",
+        "#...#",
+        "#...#",
+        ".###.",
+    ],
+    7: [
+        "#####",
+        "....#",
+        "...#.",
+        "..#..",
+        ".#...",
+        ".#...",
+        ".#...",
+    ],
+    8: [
+        ".###.",
+        "#...#",
+        "#...#",
+        ".###.",
+        "#...#",
+        "#...#",
+        ".###.",
+    ],
+    9: [
+        ".###.",
+        "#...#",
+        "#...#",
+        ".####",
+        "....#",
+        "....#",
+        ".###.",
+    ],
+}
+
+
+def glyph(digit: int) -> np.ndarray:
+    """The 7×5 binary bitmap of ``digit``."""
+    if digit not in _GLYPH_ROWS:
+        raise ValueError(f"digit must be 0-9, got {digit}")
+    rows = _GLYPH_ROWS[digit]
+    return np.array([[c == "#" for c in row] for row in rows], dtype=np.float64)
+
+
+def upsample(bitmap: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbour upsample by an integer ``factor``."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return np.kron(bitmap, np.ones((factor, factor)))
+
+
+def place_centered(canvas: np.ndarray, patch: np.ndarray, dy: int = 0, dx: int = 0) -> None:
+    """Add ``patch`` onto ``canvas`` centred with an offset, clipping at edges."""
+    ch, cw = canvas.shape
+    ph, pw = patch.shape
+    top = (ch - ph) // 2 + dy
+    left = (cw - pw) // 2 + dx
+    y0, x0 = max(top, 0), max(left, 0)
+    y1, x1 = min(top + ph, ch), min(left + pw, cw)
+    if y0 >= y1 or x0 >= x1:
+        return
+    canvas[y0:y1, x0:x1] += patch[y0 - top : y1 - top, x0 - left : x1 - left]

@@ -1,0 +1,89 @@
+"""Writing images to disk as PGM/PPM (netpbm) files.
+
+Pure-stdlib image output so Figure 2 panels and corner-case examples can be
+inspected with any viewer, without an imaging dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+def _to_bytes(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    return np.clip(np.round(image * 255.0), 0, 255).astype(np.uint8)
+
+
+def write_pgm(path: str | Path, image: np.ndarray) -> Path:
+    """Write a greyscale image ((H, W) or (1, H, W) in [0, 1]) as binary PGM."""
+    image = np.asarray(image)
+    if image.ndim == 3:
+        if image.shape[0] != 1:
+            raise ValueError(f"write_pgm expects one channel, got {image.shape}")
+        image = image[0]
+    if image.ndim != 2:
+        raise ValueError(f"expected (H, W) or (1, H, W), got shape {image.shape}")
+    data = _to_bytes(image)
+    path = Path(path)
+    height, width = data.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        fh.write(data.tobytes())
+    return path
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> Path:
+    """Write a colour image ((3, H, W) in [0, 1]) as binary PPM."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W), got shape {image.shape}")
+    data = _to_bytes(image).transpose(1, 2, 0)  # HWC interleaved
+    path = Path(path)
+    height, width, _ = data.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        fh.write(data.tobytes())
+    return path
+
+
+def write_image(path: str | Path, image: np.ndarray) -> Path:
+    """Dispatch on channel count: PGM for greyscale, PPM for colour."""
+    image = np.asarray(image)
+    if image.ndim == 2 or (image.ndim == 3 and image.shape[0] == 1):
+        return write_pgm(path, image)
+    if image.ndim == 3 and image.shape[0] == 3:
+        return write_ppm(path, image)
+    raise ValueError(f"cannot infer format for shape {image.shape}")
+
+
+def read_pgm(path: str | Path) -> np.ndarray:
+    """Read a binary PGM written by :func:`write_pgm` back as (1, H, W)."""
+    with open(path, "rb") as fh:
+        magic = fh.readline().strip()
+        if magic != b"P5":
+            raise ValueError(f"{path} is not a binary PGM (magic {magic!r})")
+        dims = fh.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(fh.readline())
+        data = np.frombuffer(fh.read(), dtype=np.uint8, count=width * height)
+    return (data.reshape(1, height, width) / maxval).astype(np.float64)
+
+
+def export_corner_case_gallery(suite, directory: str | Path) -> list[Path]:
+    """Write the Figure 2 gallery for a corner-case suite to ``directory``.
+
+    One image per viable transformation plus the original seed; returns the
+    written paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = [write_image(directory / "seed.pgm"
+                           if suite.seeds.shape[1] == 1
+                           else directory / "seed.ppm", suite.seeds[0])]
+    for name in suite.viable_transformations:
+        result = suite.result(name)
+        suffix = "pgm" if result.images.shape[1] == 1 else "ppm"
+        written.append(write_image(directory / f"{name}.{suffix}", result.images[0]))
+    return written

@@ -1,0 +1,176 @@
+"""Loaders for the real datasets' on-disk formats.
+
+The reproduction environment is offline, so experiments default to the
+synthetic look-alikes — but a downstream user with the actual files can
+drop them in and run the identical pipeline:
+
+* **MNIST** — the IDX format (``train-images-idx3-ubyte[.gz]`` etc.).
+* **CIFAR-10** — the python-pickle batch format (``data_batch_1..5``,
+  ``test_batch`` inside ``cifar-10-batches-py``).
+* **SVHN** — the cropped-digit ``.mat`` format (``train_32x32.mat``,
+  ``test_32x32.mat``), via :func:`scipy.io.loadmat`.
+
+All loaders return images as ``(N, C, H, W)`` float64 in ``[0, 1]`` with
+int64 labels, matching :class:`repro.data.datasets.Dataset` conventions.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pickle
+import struct
+from pathlib import Path
+
+import numpy as np
+from scipy.io import loadmat
+
+from repro.data.datasets import Dataset
+
+_IDX_DTYPES = {
+    0x08: np.uint8,
+    0x09: np.int8,
+    0x0B: ">i2",
+    0x0C: ">i4",
+    0x0D: ">f4",
+    0x0E: ">f8",
+}
+
+
+def _open_maybe_gzip(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+def read_idx(path: str | Path) -> np.ndarray:
+    """Read one IDX-format array (the MNIST container format)."""
+    path = Path(path)
+    with _open_maybe_gzip(path) as fh:
+        magic = fh.read(4)
+        if len(magic) != 4 or magic[0] != 0 or magic[1] != 0:
+            raise ValueError(f"{path} is not an IDX file (bad magic {magic!r})")
+        type_code, rank = magic[2], magic[3]
+        if type_code not in _IDX_DTYPES:
+            raise ValueError(f"{path}: unknown IDX type code 0x{type_code:02x}")
+        shape = struct.unpack(f">{rank}I", fh.read(4 * rank))
+        data = np.frombuffer(fh.read(), dtype=_IDX_DTYPES[type_code])
+        expected = int(np.prod(shape))
+        if data.size != expected:
+            raise ValueError(
+                f"{path}: payload has {data.size} items, header promises {expected}"
+            )
+        return data.reshape(shape)
+
+
+def write_idx(path: str | Path, array: np.ndarray) -> None:
+    """Write an array in IDX format (uint8 only; used by tests/tools)."""
+    array = np.asarray(array)
+    if array.dtype != np.uint8:
+        raise ValueError(f"write_idx supports uint8 arrays, got {array.dtype}")
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "wb") as fh:
+        fh.write(bytes([0, 0, 0x08, array.ndim]))
+        fh.write(struct.pack(f">{array.ndim}I", *array.shape))
+        fh.write(array.tobytes())
+
+
+def load_mnist(root: str | Path) -> Dataset:
+    """Load real MNIST from IDX files under ``root``.
+
+    Accepts both gzipped and plain files with the canonical names.
+    """
+    root = Path(root)
+
+    def find(stem: str) -> Path:
+        for suffix in ("", ".gz"):
+            candidate = root / f"{stem}{suffix}"
+            if candidate.exists():
+                return candidate
+        raise FileNotFoundError(f"missing MNIST file {stem}[.gz] under {root}")
+
+    train_images = read_idx(find("train-images-idx3-ubyte"))
+    train_labels = read_idx(find("train-labels-idx1-ubyte"))
+    test_images = read_idx(find("t10k-images-idx3-ubyte"))
+    test_labels = read_idx(find("t10k-labels-idx1-ubyte"))
+    return Dataset(
+        name="mnist",
+        train_images=train_images[:, None].astype(np.float64) / 255.0,
+        train_labels=train_labels.astype(np.int64),
+        test_images=test_images[:, None].astype(np.float64) / 255.0,
+        test_labels=test_labels.astype(np.int64),
+        class_names=[str(d) for d in range(10)],
+    )
+
+
+def _load_cifar_batch(path: Path) -> tuple[np.ndarray, np.ndarray]:
+    with open(path, "rb") as fh:
+        batch = pickle.load(fh, encoding="bytes")
+    data = np.asarray(batch[b"data"], dtype=np.uint8)
+    labels = np.asarray(batch[b"labels"], dtype=np.int64)
+    images = data.reshape(-1, 3, 32, 32).astype(np.float64) / 255.0
+    return images, labels
+
+CIFAR10_LABEL_NAMES = [
+    "airplane", "automobile", "bird", "cat", "deer",
+    "dog", "frog", "horse", "ship", "truck",
+]
+
+
+def load_cifar10(root: str | Path) -> Dataset:
+    """Load real CIFAR-10 from the ``cifar-10-batches-py`` directory."""
+    root = Path(root)
+    if (root / "cifar-10-batches-py").is_dir():
+        root = root / "cifar-10-batches-py"
+    train_parts = []
+    for index in range(1, 6):
+        path = root / f"data_batch_{index}"
+        if not path.exists():
+            raise FileNotFoundError(f"missing CIFAR-10 batch {path}")
+        train_parts.append(_load_cifar_batch(path))
+    test_images, test_labels = _load_cifar_batch(root / "test_batch")
+    return Dataset(
+        name="cifar10",
+        train_images=np.concatenate([p[0] for p in train_parts]),
+        train_labels=np.concatenate([p[1] for p in train_parts]),
+        test_images=test_images,
+        test_labels=test_labels,
+        class_names=list(CIFAR10_LABEL_NAMES),
+    )
+
+
+def load_svhn(root: str | Path) -> Dataset:
+    """Load real SVHN (cropped 32×32 format) from ``.mat`` files."""
+    root = Path(root)
+    splits = {}
+    for split in ("train", "test"):
+        path = root / f"{split}_32x32.mat"
+        if not path.exists():
+            raise FileNotFoundError(f"missing SVHN file {path}")
+        payload = loadmat(str(path))
+        # SVHN layout: X is (32, 32, 3, N); y uses label 10 for digit 0.
+        images = payload["X"].transpose(3, 2, 0, 1).astype(np.float64) / 255.0
+        labels = payload["y"].reshape(-1).astype(np.int64) % 10
+        splits[split] = (images, labels)
+    return Dataset(
+        name="svhn",
+        train_images=splits["train"][0],
+        train_labels=splits["train"][1],
+        test_images=splits["test"][0],
+        test_labels=splits["test"][1],
+        class_names=[str(d) for d in range(10)],
+    )
+
+
+REAL_LOADERS = {
+    "mnist": load_mnist,
+    "cifar10": load_cifar10,
+    "svhn": load_svhn,
+}
+
+
+def load_real_dataset(name: str, root: str | Path) -> Dataset:
+    """Load one of the paper's real datasets from local files."""
+    if name not in REAL_LOADERS:
+        raise ValueError(f"unknown real dataset {name!r}; available: {sorted(REAL_LOADERS)}")
+    return REAL_LOADERS[name](root)

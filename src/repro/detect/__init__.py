@@ -1,0 +1,36 @@
+"""Baseline adversarial-image detectors the paper compares against.
+
+Both report state-of-the-art results against white-box attacks; the paper's
+Table VII shows they degrade badly on real-world corner cases. The common
+:class:`Detector` interface returns higher scores for more anomalous inputs
+so all detectors plug into the same ROC harness.
+"""
+
+from repro.detect.base import Detector
+from repro.detect.feature_squeezing import (
+    FeatureSqueezing,
+    bit_depth_squeeze,
+    median_filter_squeeze,
+    non_local_means_squeeze,
+)
+from repro.detect.kde import KernelDensityDetector
+from repro.detect.deep_validation import DeepValidationDetector
+from repro.detect.lid import LIDDetector, lid_estimates
+from repro.detect.mahalanobis import MahalanobisDetector
+from repro.detect.magnet import MagNetDetector
+from repro.detect.ensemble import EnsembleDetector
+
+__all__ = [
+    "Detector",
+    "FeatureSqueezing",
+    "bit_depth_squeeze",
+    "median_filter_squeeze",
+    "non_local_means_squeeze",
+    "KernelDensityDetector",
+    "DeepValidationDetector",
+    "LIDDetector",
+    "lid_estimates",
+    "MahalanobisDetector",
+    "MagNetDetector",
+    "EnsembleDetector",
+]

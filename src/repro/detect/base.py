@@ -1,0 +1,24 @@
+"""The common anomaly-detector interface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Detector:
+    """An input-anomaly detector over a fixed trained classifier.
+
+    ``score`` returns one float per image, **higher meaning more anomalous**,
+    so ROC-AUC with anomaly-label 1 is directly comparable across Deep
+    Validation and every baseline.
+    """
+
+    name: str = "detector"
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "Detector":
+        """Fit on clean training data (no anomalies are ever required)."""
+        raise NotImplementedError
+
+    def score(self, images: np.ndarray) -> np.ndarray:
+        """Anomaly score per image; higher = more anomalous."""
+        raise NotImplementedError

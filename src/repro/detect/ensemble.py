@@ -1,0 +1,65 @@
+"""Detector ensembles.
+
+The paper closes its white-box study with: "the promising results confirm
+that it [Deep Validation] can be combined with other security methods to
+make the life of attackers harder" (Section IV-D5). This module implements
+that combination: member scores are standardised on clean calibration data
+(so heterogeneous score scales become commensurable) and fused by max or
+mean.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.detect.base import Detector
+
+
+class EnsembleDetector(Detector):
+    """Score-fusion ensemble over heterogeneous detectors.
+
+    Parameters
+    ----------
+    members:
+        Fitted or unfitted detectors; ``fit`` fits each member and then
+        calibrates per-member score statistics on the same clean data.
+    fusion:
+        ``"max"`` (default — an input is anomalous if *any* member finds it
+        anomalous, the conservative fail-safe choice) or ``"mean"``.
+    """
+
+    name = "ensemble"
+
+    def __init__(self, members: Sequence[Detector], fusion: str = "max") -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        if fusion not in {"max", "mean"}:
+            raise ValueError(f"fusion must be max or mean, got {fusion!r}")
+        self.members = list(members)
+        self.fusion = fusion
+        self._stats: list[tuple[float, float]] | None = None
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "EnsembleDetector":
+        self._stats = []
+        for member in self.members:
+            member.fit(images, labels)
+            scores = member.score(images)
+            self._stats.append((float(scores.mean()), float(scores.std() or 1.0)))
+        return self
+
+    def member_scores(self, images: np.ndarray) -> np.ndarray:
+        """Standardised member scores, shape (N, members)."""
+        if self._stats is None:
+            raise RuntimeError("EnsembleDetector is not fitted")
+        columns = []
+        for member, (mean, std) in zip(self.members, self._stats):
+            columns.append((member.score(images) - mean) / std)
+        return np.stack(columns, axis=1)
+
+    def score(self, images: np.ndarray) -> np.ndarray:
+        scores = self.member_scores(images)
+        if self.fusion == "max":
+            return scores.max(axis=1)
+        return scores.mean(axis=1)

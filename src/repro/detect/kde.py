@@ -1,0 +1,109 @@
+"""Kernel-density-estimation detector (Feinman et al. 2017).
+
+Statistical detection on the final hidden layer: a Gaussian KDE is fitted
+per class on the training activations, and a test input is scored by the
+negative log-density under the KDE of its *predicted* class. Low density
+(high score) means the activation sits far from where training points of
+that class concentrate.
+
+The paper's Table VII shows this detector collapses on real-world corner
+cases (ROC-AUC 0.13-0.26 — *below* chance): a confidently wrong prediction
+has, by construction, a final-layer activation that looks like a dense,
+typical member of the predicted class, so corner cases score *less*
+anomalous than clean images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detect.base import Detector
+from repro.nn.sequential import ProbedSequential
+from repro.utils.rng import RngLike, new_rng
+
+
+class KernelDensityDetector(Detector):
+    """Per-class Gaussian KDE on the last hidden layer.
+
+    Parameters
+    ----------
+    model:
+        The classifier under protection.
+    bandwidth:
+        Gaussian kernel bandwidth in activation space (Feinman et al. tune
+        this per dataset; their MNIST value was 1.2).
+    max_per_class:
+        Subsample cap on the per-class reference activations.
+    """
+
+    name = "kernel-density"
+
+    def __init__(
+        self,
+        model: ProbedSequential,
+        bandwidth: float = 1.0,
+        max_per_class: int = 400,
+        class_conditional: bool = True,
+        rng: RngLike = 0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.model = model
+        self.bandwidth = bandwidth
+        self.max_per_class = max_per_class
+        #: When False, all classes are pooled into one KDE — the variant the
+        #: paper describes ("mix all the clean images from different classes
+        #: together"); kept for the bandwidth/pooling ablation.
+        self.class_conditional = class_conditional
+        self._rng = new_rng(rng)
+        self._references: dict[int, np.ndarray] = {}
+
+    def _final_hidden(self, images: np.ndarray) -> np.ndarray:
+        _, representations = self.model.hidden_representations(images)
+        return representations[-1]
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "KernelDensityDetector":
+        """Fit per-class KDEs on correctly classified training activations."""
+        labels = np.asarray(labels)
+        predictions = self.model.predict(images)
+        keep = predictions == labels
+        activations = self._final_hidden(images[keep])
+        kept_labels = labels[keep]
+        if not self.class_conditional:
+            kept_labels = np.zeros(len(kept_labels), dtype=np.int64)
+        self._references = {}
+        for klass in np.unique(kept_labels):
+            rows = np.flatnonzero(kept_labels == klass)
+            if len(rows) > self.max_per_class:
+                rows = self._rng.choice(rows, size=self.max_per_class, replace=False)
+            self._references[int(klass)] = activations[rows]
+        return self
+
+    def _log_density(self, activations: np.ndarray, klass: int) -> np.ndarray:
+        reference = self._references[klass]
+        a_sq = np.einsum("ij,ij->i", activations, activations)[:, None]
+        r_sq = np.einsum("ij,ij->i", reference, reference)[None, :]
+        sq_dist = np.maximum(a_sq + r_sq - 2.0 * activations @ reference.T, 0.0)
+        # log mean exp(-d^2 / (2 h^2)), stable via the max trick.
+        exponents = -sq_dist / (2.0 * self.bandwidth**2)
+        peak = exponents.max(axis=1, keepdims=True)
+        return (peak + np.log(np.exp(exponents - peak).mean(axis=1, keepdims=True)))[:, 0]
+
+    def score(self, images: np.ndarray) -> np.ndarray:
+        """Negative log-density under the predicted class's KDE."""
+        if not self._references:
+            raise RuntimeError("KernelDensityDetector is not fitted")
+        if not self.class_conditional:
+            activations = self._final_hidden(images)
+            return -self._log_density(activations, 0)
+        predictions = self.model.predict(images)
+        activations = self._final_hidden(images)
+        scores = np.empty(len(images))
+        for klass in np.unique(predictions):
+            rows = np.flatnonzero(predictions == klass)
+            if int(klass) not in self._references:
+                # Predicted class never seen correctly classified: maximal anomaly.
+                scores[rows] = np.inf
+                continue
+            scores[rows] = -self._log_density(activations[rows], int(klass))
+        return scores

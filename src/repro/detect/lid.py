@@ -1,0 +1,150 @@
+"""Local Intrinsic Dimensionality detector (Ma et al., ICLR 2018).
+
+The paper's related work (reference [37]): adversarial inputs occupy
+subspaces of higher local intrinsic dimensionality than clean data. Per
+layer, the maximum-likelihood LID estimate of a sample against a reference
+minibatch is
+
+    LID(x) = - ( (1/k) * sum_i log(r_i(x) / r_k(x)) )^{-1}
+
+with ``r_i`` the distance to its i-th nearest reference neighbour. A
+logistic regression over the per-layer LID features separates anomalous
+from clean inputs.
+
+As the paper notes for this detector family, training requires *both*
+clean and anomalous examples — which is precisely why it generalises poorly
+to unseen anomaly types. When no anomalous examples are supplied, this
+implementation falls back to Gaussian-noise-perturbed clean images as the
+anomaly class, making the weakness reproducible rather than hidden.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detect.base import Detector
+from repro.nn.sequential import ProbedSequential
+from repro.utils.rng import RngLike, new_rng
+
+
+def lid_estimates(
+    queries: np.ndarray, reference: np.ndarray, neighbours: int
+) -> np.ndarray:
+    """Maximum-likelihood LID of each query row against ``reference`` rows."""
+    queries = np.asarray(queries, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if neighbours < 2:
+        raise ValueError(f"neighbours must be >= 2, got {neighbours}")
+    if len(reference) <= neighbours + 1:
+        raise ValueError(
+            f"need more than {neighbours + 1} reference points, got {len(reference)}"
+        )
+    q_sq = np.einsum("ij,ij->i", queries, queries)[:, None]
+    r_sq = np.einsum("ij,ij->i", reference, reference)[None, :]
+    sq_dist = np.maximum(q_sq + r_sq - 2.0 * queries @ reference.T, 0.0)
+    ordered = np.sqrt(np.sort(sq_dist, axis=1)[:, : neighbours + 1])
+    # Exclude self-matches: when a query coincides with a reference point
+    # its zero distance would swamp the log-ratio estimator.
+    self_match = ordered[:, 0] < 1e-9
+    distances = np.where(
+        self_match[:, None], ordered[:, 1 : neighbours + 1], ordered[:, :neighbours]
+    )
+    distances = np.maximum(distances, 1e-12)
+    ratios = np.log(distances / distances[:, -1:])
+    mean_log = ratios[:, :-1].mean(axis=1)
+    return -1.0 / np.minimum(mean_log, -1e-12)
+
+
+class LIDDetector(Detector):
+    """Per-layer LID features + logistic regression.
+
+    Parameters
+    ----------
+    model:
+        The classifier under protection.
+    neighbours:
+        ``k`` in the LID estimator.
+    batch_size:
+        Reference minibatch size per LID evaluation (as in the original).
+    """
+
+    name = "lid"
+
+    def __init__(
+        self,
+        model: ProbedSequential,
+        neighbours: int = 10,
+        batch_size: int = 100,
+        rng: RngLike = 0,
+    ) -> None:
+        self.model = model
+        self.neighbours = neighbours
+        self.batch_size = batch_size
+        self._rng = new_rng(rng)
+        self._reference_layers: list[np.ndarray] | None = None
+        self._weights: np.ndarray | None = None
+        self._bias: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def _layer_features(self, images: np.ndarray) -> list[np.ndarray]:
+        _, representations = self.model.hidden_representations(images)
+        return representations
+
+    def _lid_matrix(self, layers: list[np.ndarray]) -> np.ndarray:
+        """Per-layer LID features for a batch, shape (N, num_layers)."""
+        columns = []
+        for layer_reps, reference in zip(layers, self._reference_layers):
+            batch = reference
+            if len(batch) > self.batch_size:
+                picks = self._rng.choice(len(batch), size=self.batch_size, replace=False)
+                batch = batch[picks]
+            columns.append(lid_estimates(layer_reps, batch, self.neighbours))
+        return np.stack(columns, axis=1)
+
+    def fit(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        anomalies: np.ndarray | None = None,
+    ) -> "LIDDetector":
+        """Fit the logistic head on clean vs anomalous LID features.
+
+        ``anomalies`` should be representative anomalous inputs (e.g.
+        adversarial examples); when omitted, noise-perturbed clean images
+        stand in — reproducing the family's reliance on seeing anomalies at
+        training time.
+        """
+        self._reference_layers = self._layer_features(images)
+        if anomalies is None:
+            noise = self._rng.normal(0.0, 0.3, size=images.shape)
+            anomalies = np.clip(images + noise, 0.0, 1.0)
+        clean_lid = self._lid_matrix(self._layer_features(images))
+        anomaly_lid = self._lid_matrix(self._layer_features(anomalies))
+
+        features = np.concatenate([clean_lid, anomaly_lid], axis=0)
+        targets = np.concatenate([np.zeros(len(clean_lid)), np.ones(len(anomaly_lid))])
+        self._mean = features.mean(axis=0)
+        self._scale = features.std(axis=0)
+        self._scale[self._scale == 0] = 1.0
+        standardised = (features - self._mean) / self._scale
+
+        weights = np.zeros(features.shape[1])
+        bias = 0.0
+        for _ in range(400):
+            logits = standardised @ weights + bias
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            error = probabilities - targets
+            weights -= 0.5 * (standardised.T @ error / len(targets) + 1e-3 * weights)
+            bias -= 0.5 * error.mean()
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def score(self, images: np.ndarray) -> np.ndarray:
+        """Logistic score over per-layer LID features (higher = anomalous)."""
+        if self._weights is None:
+            raise RuntimeError("LIDDetector is not fitted")
+        lid = self._lid_matrix(self._layer_features(images))
+        standardised = (lid - self._mean) / self._scale
+        return standardised @ self._weights + self._bias

@@ -1,0 +1,101 @@
+"""MagNet detector (Meng & Chen, CCS 2017).
+
+The first prediction-inconsistency baseline the paper surveys: autoencoders
+trained on clean data both measure *reconstruction error* (anomalous inputs
+reconstruct badly) and drive *probability divergence* (the classifier's
+output changes more under reconstruction for anomalous inputs). The
+detector score is the maximum of the two signals after per-signal
+standardisation on clean calibration data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detect.base import Detector
+from repro.nn.sequential import ProbedSequential
+from repro.utils.rng import RngLike
+from repro.zoo.autoencoder import ConvAutoencoder, train_autoencoder
+
+
+def _jensen_shannon(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Row-wise Jensen-Shannon divergence between probability vectors."""
+    p = np.clip(p, 1e-12, 1.0)
+    q = np.clip(q, 1e-12, 1.0)
+    m = (p + q) / 2.0
+    kl_pm = (p * np.log(p / m)).sum(axis=1)
+    kl_qm = (q * np.log(q / m)).sum(axis=1)
+    return (kl_pm + kl_qm) / 2.0
+
+
+class MagNetDetector(Detector):
+    """Autoencoder-based detection via reconstruction error + divergence.
+
+    Parameters
+    ----------
+    model:
+        The classifier under protection (used for the divergence signal).
+    hidden:
+        Autoencoder hidden width.
+    epochs:
+        Autoencoder training epochs on the clean training images.
+    mode:
+        ``"both"`` (default, max of standardised signals), ``"error"``
+        (reconstruction error only), or ``"divergence"``.
+    """
+
+    name = "magnet"
+
+    def __init__(
+        self,
+        model: ProbedSequential,
+        hidden: int = 8,
+        epochs: int = 4,
+        mode: str = "both",
+        rng: RngLike = 0,
+    ) -> None:
+        if mode not in {"both", "error", "divergence"}:
+            raise ValueError(f"mode must be both/error/divergence, got {mode!r}")
+        self.model = model
+        self.hidden = hidden
+        self.epochs = epochs
+        self.mode = mode
+        self._rng_seed = rng
+        self.autoencoder: ConvAutoencoder | None = None
+        self._error_stats: tuple[float, float] | None = None
+        self._divergence_stats: tuple[float, float] | None = None
+
+    def _signals(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        reconstructed = self.autoencoder.reconstruct(images)
+        error = np.abs(reconstructed - images).reshape(len(images), -1).mean(axis=1)
+        original_probs = self.model.predict_proba(images)
+        reformed_probs = self.model.predict_proba(reconstructed)
+        divergence = _jensen_shannon(original_probs, reformed_probs)
+        return error, divergence
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "MagNetDetector":
+        """Train the autoencoder and calibrate signal scales on clean data."""
+        channels = images.shape[1]
+        self.autoencoder = ConvAutoencoder(channels, hidden=self.hidden, rng=self._rng_seed)
+        train_autoencoder(
+            self.autoencoder, images, epochs=self.epochs, rng=self._rng_seed
+        )
+        error, divergence = self._signals(images)
+        self._error_stats = (float(error.mean()), float(error.std() or 1.0))
+        self._divergence_stats = (
+            float(divergence.mean()),
+            float(divergence.std() or 1.0),
+        )
+        return self
+
+    def score(self, images: np.ndarray) -> np.ndarray:
+        if self.autoencoder is None:
+            raise RuntimeError("MagNetDetector is not fitted")
+        error, divergence = self._signals(images)
+        error_z = (error - self._error_stats[0]) / self._error_stats[1]
+        divergence_z = (divergence - self._divergence_stats[0]) / self._divergence_stats[1]
+        if self.mode == "error":
+            return error_z
+        if self.mode == "divergence":
+            return divergence_z
+        return np.maximum(error_z, divergence_z)

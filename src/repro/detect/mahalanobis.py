@@ -1,0 +1,73 @@
+"""Mahalanobis-distance detector (Lee et al., NeurIPS 2018).
+
+The paper's related work (reference [32]): model class-conditional Gaussians
+with a *shared* covariance on the penultimate layer of the DNN; a test input
+is scored by its Mahalanobis distance to the closest class mean. Fitting
+needs only clean training data, which is why the paper singles this family
+out as overcoming the clean+adversarial training requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detect.base import Detector
+from repro.nn.sequential import ProbedSequential
+
+
+class MahalanobisDetector(Detector):
+    """Class-conditional Gaussians with tied covariance on the final hidden layer.
+
+    Parameters
+    ----------
+    model:
+        The classifier under protection.
+    regularisation:
+        Ridge added to the covariance diagonal before inversion (hidden
+        features are often rank-deficient for small reference sets).
+    """
+
+    name = "mahalanobis"
+
+    def __init__(self, model: ProbedSequential, regularisation: float = 1e-3) -> None:
+        if regularisation < 0:
+            raise ValueError(f"regularisation must be non-negative, got {regularisation}")
+        self.model = model
+        self.regularisation = regularisation
+        self.class_means_: dict[int, np.ndarray] = {}
+        self.precision_: np.ndarray | None = None
+
+    def _features(self, images: np.ndarray) -> np.ndarray:
+        _, representations = self.model.hidden_representations(images)
+        return representations[-1]
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "MahalanobisDetector":
+        labels = np.asarray(labels)
+        predictions = self.model.predict(images)
+        keep = predictions == labels
+        features = self._features(images[keep])
+        kept_labels = labels[keep]
+
+        self.class_means_ = {}
+        centered = []
+        for klass in np.unique(kept_labels):
+            rows = kept_labels == klass
+            mean = features[rows].mean(axis=0)
+            self.class_means_[int(klass)] = mean
+            centered.append(features[rows] - mean)
+        pooled = np.concatenate(centered, axis=0)
+        covariance = pooled.T @ pooled / len(pooled)
+        covariance += self.regularisation * np.eye(covariance.shape[0])
+        self.precision_ = np.linalg.inv(covariance)
+        return self
+
+    def score(self, images: np.ndarray) -> np.ndarray:
+        """Mahalanobis distance to the closest class mean (higher = anomalous)."""
+        if self.precision_ is None:
+            raise RuntimeError("MahalanobisDetector is not fitted")
+        features = self._features(images)
+        distances = []
+        for mean in self.class_means_.values():
+            delta = features - mean
+            distances.append(np.einsum("ij,jk,ik->i", delta, self.precision_, delta))
+        return np.min(np.stack(distances, axis=1), axis=1)

@@ -1,0 +1,33 @@
+"""Experiment harness: one runner per table and figure in the paper.
+
+Each ``run_*`` function returns a structured result object with a
+``render()`` method producing the paper-style text table, so benchmarks can
+assert on the numbers and print the rows side by side with the paper's.
+"""
+
+from repro.experiments.context import ExperimentContext, get_context
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.table8 import run_table8
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+]

@@ -1,0 +1,113 @@
+"""Shared, cached experiment context.
+
+Everything expensive an experiment needs — the trained classifier, the
+corner-case suite, the fitted Deep Validator, and a matched clean evaluation
+sample — is built once per (dataset, profile, seed) and cached on disk, so
+tests, benchmarks, and examples all reuse the same artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.validator import DeepValidator, ValidatorConfig
+from repro.corner.suite import CornerCaseSuite, build_corner_case_suite
+from repro.utils.cache import ArtifactCache, default_cache
+from repro.utils.rng import new_rng
+from repro.zoo.recipes import TrainedClassifier, get_trained_classifier
+
+#: Number of rear layers validated on the DenseNet (paper Section IV-C).
+DENSENET_REAR_LAYERS = 6
+
+#: Per-profile corner-search scale.
+_SUITE_PARAMS = {
+    "tiny": {"seed_count": 120, "scan_seeds": 60},
+    "bench": {"seed_count": 200, "scan_seeds": 100},
+}
+
+_VALIDATOR_PARAMS = {
+    "tiny": {"nu": 0.1, "max_per_class": 120},
+    "bench": {"nu": 0.1, "max_per_class": 200},
+}
+
+
+def rear_layer_indices(probe_count: int, count: int = DENSENET_REAR_LAYERS) -> list[int]:
+    """Indices of the last ``count`` probeable layers."""
+    count = min(count, probe_count)
+    return list(range(probe_count - count, probe_count))
+
+
+@dataclass
+class ExperimentContext:
+    """All shared artifacts for one dataset/profile pair."""
+
+    dataset_name: str
+    profile: str
+    classifier: TrainedClassifier
+    suite: CornerCaseSuite
+    validator: DeepValidator
+    clean_images: np.ndarray
+    clean_labels: np.ndarray
+
+    @property
+    def model(self):
+        return self.classifier.model
+
+    @property
+    def dataset(self):
+        return self.classifier.dataset
+
+    def validated_layer_names(self) -> list[str]:
+        """Names of the probes the validator covers."""
+        names = self.model.probe_names
+        return [names[i] for i in self.validator.layer_indices]
+
+
+def _build_context(dataset_name: str, profile: str, seed: int) -> ExperimentContext:
+    classifier = get_trained_classifier(dataset_name, profile, seed=seed)
+    model = classifier.model
+    dataset = classifier.dataset
+    suite_params = _SUITE_PARAMS[profile]
+    suite = build_corner_case_suite(
+        model, dataset, rng=seed, **suite_params
+    )
+
+    probe_count = len(model.probe_names)
+    layers = None
+    if dataset_name == "synth-cifar":
+        # The paper validates only the rear layers of its DenseNet (IV-C).
+        layers = rear_layer_indices(probe_count)
+    config = ValidatorConfig(layers=layers, seed=seed, **_VALIDATOR_PARAMS[profile])
+    validator = DeepValidator(model, config)
+    validator.fit(dataset.train_images, dataset.train_labels)
+
+    # Clean evaluation sample, disjoint from the corner-case seeds where
+    # possible: the paper samples as many clean test images as corner cases.
+    rng = new_rng(seed + 17)
+    count = min(len(dataset.test_images), suite.total_corner_cases())
+    chosen = rng.choice(len(dataset.test_images), size=count, replace=False)
+    return ExperimentContext(
+        dataset_name=dataset_name,
+        profile=profile,
+        classifier=classifier,
+        suite=suite,
+        validator=validator,
+        clean_images=dataset.test_images[chosen],
+        clean_labels=dataset.test_labels[chosen],
+    )
+
+
+def get_context(
+    dataset_name: str,
+    profile: str = "tiny",
+    seed: int = 0,
+    cache: ArtifactCache | None = None,
+) -> ExperimentContext:
+    """Load or build the cached experiment context."""
+    cache = cache if cache is not None else default_cache()
+    config = {"dataset": dataset_name, "profile": profile, "seed": seed, "kind": "context", "v": 2}
+    return cache.get_or_build(
+        "context", config, lambda: _build_context(dataset_name, profile, seed)
+    )

@@ -1,0 +1,43 @@
+"""Figure 2 — examples of synthetic corner cases, rendered as ASCII panels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import get_context
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, downsample: int = 1) -> str:
+    """Render a (C, H, W) image in [0, 1] as ASCII art (luminance only)."""
+    luminance = image.mean(axis=0)
+    luminance = luminance[::downsample, ::downsample]
+    index = np.clip((luminance * (len(_SHADES) - 1)).round().astype(int), 0, len(_SHADES) - 1)
+    return "\n".join("".join(_SHADES[v] for v in row) for row in index)
+
+
+@dataclass
+class Figure2Result:
+    dataset_name: str
+    panels: list[tuple[str, np.ndarray]]
+
+    def render(self) -> str:
+        """Render all panels as ASCII art."""
+        blocks = [f"Figure 2 — synthetic corner cases on {self.dataset_name}"]
+        for name, image in self.panels:
+            blocks.append(f"\n[{name}]")
+            blocks.append(ascii_image(image, downsample=1 if image.shape[-1] <= 32 else 2))
+        return "\n".join(blocks)
+
+
+def run_figure2(dataset_name: str, profile: str = "tiny", seed: int = 0) -> Figure2Result:
+    """Build the Figure 2 example panels for one dataset."""
+    context = get_context(dataset_name, profile, seed)
+    panels = [("original seed", context.suite.seeds[0])]
+    for name in context.suite.viable_transformations:
+        result = context.suite.result(name)
+        panels.append((result.config.describe(), result.images[0]))
+    return Figure2Result(dataset_name=dataset_name, panels=panels)

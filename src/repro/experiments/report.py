@@ -1,0 +1,62 @@
+"""Programmatic full-report generation.
+
+``build_report`` runs every experiment for a profile and assembles a single
+Markdown-ish text document — the machinery behind
+``python -m repro.experiments.run --all`` and the recorded bench report in
+``.artifacts/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.data.datasets import DATASET_NAMES
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.table8 import run_table8
+
+
+def build_report(
+    profile: str = "tiny",
+    seed: int = 0,
+    include_attacks: bool = True,
+    include_figures: bool = True,
+) -> str:
+    """Run the full evaluation and return one text report.
+
+    ``include_attacks`` toggles Table VIII (the attack battery is by far
+    the most expensive step); ``include_figures`` toggles Figures 2–4.
+    """
+    sections: list[str] = [
+        f"# Deep Validation reproduction report (profile={profile}, seed={seed})",
+        run_table2(profile, seed).render(),
+        run_table3(profile, seed).render(),
+        run_table4().render(),
+    ]
+    for dataset in DATASET_NAMES:
+        sections.append(run_table5(dataset, profile, seed).render())
+        sections.append(run_table6(dataset, profile, seed).render())
+        sections.append(run_table7(dataset, profile, seed).render())
+        if include_figures:
+            sections.append(run_figure3(dataset, profile, seed).render())
+    if include_attacks:
+        sections.append(run_table8("synth-mnist", profile, seed).render())
+    if include_figures:
+        sections.append(run_figure2("synth-mnist", profile, seed).render())
+        sections.append(run_figure4("synth-mnist", profile, seed).render())
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(path: str | Path, **kwargs) -> Path:
+    """Build the report and write it to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_report(**kwargs))
+    return path

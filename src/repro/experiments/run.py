@@ -1,0 +1,100 @@
+"""Command-line runner for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.run --experiment table6 --dataset synth-mnist
+    python -m repro.experiments.run --all --profile bench
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.data.datasets import DATASET_NAMES
+from repro.experiments import (
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+
+_PER_DATASET = {
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+}
+
+def _run_extension_studies(profile: str, seed: int):
+    """The beyond-paper studies, bundled for the CLI."""
+    from repro.experiments.context import get_context
+    from repro.experiments.extensions import (
+        run_tradeoff_study,
+        run_weighting_study,
+    )
+    from repro.utils.tables import format_table
+
+    class _Bundle:
+        def render(self) -> str:
+            mnist = get_context("synth-mnist", profile, seed)
+            svhn = get_context("synth-svhn", profile, seed)
+            parts = [
+                run_weighting_study(svhn).render(),
+                run_tradeoff_study(mnist).render(),
+            ]
+            return "\n\n".join(parts)
+
+    return _Bundle()
+
+
+_GLOBAL = {
+    "table2": lambda profile, seed: run_table2(profile, seed),
+    "table3": lambda profile, seed: run_table3(profile, seed),
+    "table4": lambda profile, seed: run_table4(),
+    "table8": lambda profile, seed: run_table8("synth-mnist", profile, seed),
+    "figure4": lambda profile, seed: run_figure4("synth-mnist", profile, seed),
+    "extensions": _run_extension_studies,
+}
+
+EXPERIMENTS = sorted(list(_PER_DATASET) + list(_GLOBAL))
+
+
+def run_experiment(name: str, dataset: str | None, profile: str, seed: int) -> str:
+    """Run one experiment and return its rendered report."""
+    if name in _GLOBAL:
+        return _GLOBAL[name](profile, seed).render()
+    if name in _PER_DATASET:
+        datasets = [dataset] if dataset else list(DATASET_NAMES)
+        return "\n\n".join(
+            _PER_DATASET[name](ds, profile, seed).render() for ds in datasets
+        )
+    raise ValueError(f"unknown experiment {name!r}; available: {EXPERIMENTS}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point; see the module docstring for usage."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiment", choices=EXPERIMENTS, help="which table/figure to run")
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default=None)
+    parser.add_argument("--profile", default="tiny", choices=("tiny", "bench"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.all else [args.experiment]
+    if names == [None]:
+        parser.error("provide --experiment or --all")
+    for name in names:
+        print(run_experiment(name, args.dataset, args.profile, args.seed))
+        print()
+
+
+if __name__ == "__main__":
+    main()

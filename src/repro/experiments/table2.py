@@ -1,0 +1,28 @@
+"""Table II — the SVHN model architecture."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import get_context
+from repro.utils.tables import format_table
+from repro.zoo.recipes import architecture_summary
+
+
+@dataclass
+class Table2Result:
+    rows: list[tuple[str, str]]
+
+    def render(self) -> str:
+        """Render the architecture listing as a text table."""
+        return format_table(
+            ["Stage", "Layer composition"],
+            self.rows,
+            title="Table II — model architecture for synth-SVHN",
+        )
+
+
+def run_table2(profile: str = "tiny", seed: int = 0) -> Table2Result:
+    """Print the layer listing of the trained SVHN-like classifier."""
+    context = get_context("synth-svhn", profile, seed)
+    return Table2Result(rows=architecture_summary(context.model))

@@ -1,0 +1,44 @@
+"""Table III — model accuracy and mean top-1 confidence on clean test data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets import DATASET_NAMES
+from repro.experiments.context import get_context
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Table3Result:
+    rows: list[tuple[str, float, float]]
+
+    def render(self) -> str:
+        """Render the accuracy/confidence rows as a text table."""
+        return format_table(
+            ["Dataset", "Accuracy on Test Data", "Mean Top-1 Prediction Confidence"],
+            self.rows,
+            title="Table III — model accuracy on test data",
+        )
+
+    def accuracy(self, dataset_name: str) -> float:
+        """Test accuracy for one dataset row."""
+        for name, accuracy, _ in self.rows:
+            if name == dataset_name:
+                return accuracy
+        raise KeyError(dataset_name)
+
+
+def run_table3(profile: str = "tiny", seed: int = 0) -> Table3Result:
+    """Measure Table III for all three classifiers."""
+    rows = []
+    for dataset_name in DATASET_NAMES:
+        context = get_context(dataset_name, profile, seed)
+        rows.append(
+            (
+                dataset_name,
+                context.classifier.test_accuracy,
+                context.classifier.mean_top1_confidence,
+            )
+        )
+    return Table3Result(rows=rows)

@@ -1,0 +1,53 @@
+"""Table V — success rates and chosen configurations per transformation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corner.search_space import TRANSFORMATION_ORDER
+from repro.experiments.context import get_context
+from repro.utils.tables import format_table
+
+_ROW_ORDER = TRANSFORMATION_ORDER + ("combined",)
+
+
+@dataclass
+class Table5Result:
+    dataset_name: str
+    rows: list[tuple[str, str, object, object]]
+
+    def render(self) -> str:
+        """Render the success-rate rows as a text table."""
+        return format_table(
+            ["Transformation", "Configuration", "Success Rate", "Mean Top-1 Confidence"],
+            self.rows,
+            title=f"Table V — corner-case success rates on {self.dataset_name}",
+        )
+
+    def success_rate(self, transformation: str) -> float | None:
+        """Success rate for one transformation row (None when not viable)."""
+        for name, _, success, _ in self.rows:
+            if name == transformation:
+                return success
+        raise KeyError(transformation)
+
+
+def run_table5(dataset_name: str, profile: str = "tiny", seed: int = 0) -> Table5Result:
+    """Assemble Table V from the cached corner-case suite."""
+    context = get_context(dataset_name, profile, seed)
+    outcomes = {o.transformation: o for o in context.suite.outcomes}
+    rows = []
+    for name in _ROW_ORDER:
+        outcome = outcomes.get(name)
+        if outcome is None or not outcome.viable:
+            rows.append((name, "-", None, None))
+            continue
+        rows.append(
+            (
+                name,
+                outcome.config.describe(),
+                outcome.success_rate,
+                outcome.mean_confidence,
+            )
+        )
+    return Table5Result(dataset_name=dataset_name, rows=rows)

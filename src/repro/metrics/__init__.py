@@ -1,0 +1,21 @@
+"""Detection metrics: ROC-AUC, ROC curves, rate utilities, bootstrap CIs."""
+
+from repro.metrics.roc import roc_auc_score, roc_curve
+from repro.metrics.rates import (
+    detection_rate_at_threshold,
+    false_positive_rate,
+    threshold_at_fpr,
+    true_positive_rate,
+)
+from repro.metrics.bootstrap import BootstrapResult, bootstrap_auc
+
+__all__ = [
+    "roc_auc_score",
+    "roc_curve",
+    "detection_rate_at_threshold",
+    "false_positive_rate",
+    "threshold_at_fpr",
+    "true_positive_rate",
+    "BootstrapResult",
+    "bootstrap_auc",
+]

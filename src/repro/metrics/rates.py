@@ -1,0 +1,43 @@
+"""Detection/false-positive rate helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def true_positive_rate(scores: np.ndarray, threshold: float) -> float:
+    """Fraction of (positive-class) ``scores`` at or above ``threshold``."""
+    scores = np.asarray(scores)
+    if len(scores) == 0:
+        raise ValueError("cannot compute a rate over zero samples")
+    return float((scores >= threshold).mean())
+
+
+def false_positive_rate(scores: np.ndarray, threshold: float) -> float:
+    """Fraction of (negative-class) ``scores`` at or above ``threshold``."""
+    return true_positive_rate(scores, threshold)
+
+
+def detection_rate_at_threshold(scores: np.ndarray, threshold: float) -> float:
+    """Alias of :func:`true_positive_rate` in detector vocabulary."""
+    return true_positive_rate(scores, threshold)
+
+
+def threshold_at_fpr(negative_scores: np.ndarray, target_fpr: float) -> float:
+    """Smallest threshold whose false positive rate is at most ``target_fpr``.
+
+    Used to compare detectors at a matched operating point (the paper fixes
+    FPR = 0.059 in Figure 4).
+    """
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    if not 0.0 <= target_fpr <= 1.0:
+        raise ValueError(f"target_fpr must be in [0, 1], got {target_fpr}")
+    if len(negative_scores) == 0:
+        raise ValueError("need negative scores to calibrate a threshold")
+    allowed = int(np.floor(target_fpr * len(negative_scores)))
+    ordered = np.sort(negative_scores)[::-1]
+    if allowed >= len(ordered):
+        return float(ordered[-1])
+    # Threshold sits just above the (allowed+1)-th largest negative score, so
+    # at most ``allowed`` negatives score >= threshold even under ties.
+    return float(np.nextafter(ordered[allowed], np.inf))

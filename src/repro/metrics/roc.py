@@ -1,0 +1,81 @@
+"""ROC analysis.
+
+``roc_auc_score`` uses the rank statistic (Mann-Whitney U) so ties are
+handled exactly; ``roc_curve`` enumerates thresholds in score order like
+scikit-learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(labels: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape or labels.ndim != 1:
+        raise ValueError(
+            f"labels and scores must be equal-length 1-D arrays, got "
+            f"{labels.shape} and {scores.shape}"
+        )
+    unique = set(np.unique(labels).tolist())
+    if not unique <= {0, 1}:
+        raise ValueError(f"labels must be binary 0/1, got values {sorted(unique)}")
+    if len(unique) < 2:
+        raise ValueError("both classes must be present to compute ROC statistics")
+    return labels.astype(bool), scores
+
+
+def roc_auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve; higher ``scores`` should mean positive.
+
+    Computed as the Mann-Whitney U statistic with midranks, so tied scores
+    contribute 1/2 — identical to the trapezoidal AUC over the full curve.
+    """
+    labels, scores = _validate(labels, scores)
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores))
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Midranks for ties.
+    sorted_scores = scores[order]
+    start = 0
+    while start < len(sorted_scores):
+        stop = start
+        while stop + 1 < len(sorted_scores) and sorted_scores[stop + 1] == sorted_scores[start]:
+            stop += 1
+        if stop > start:
+            ranks[order[start : stop + 1]] = (start + stop) / 2.0 + 1.0
+        start = stop + 1
+    positives = int(labels.sum())
+    negatives = len(labels) - positives
+    rank_sum = ranks[labels].sum()
+    u_statistic = rank_sum - positives * (positives + 1) / 2.0
+    return float(u_statistic / (positives * negatives))
+
+
+def roc_curve(
+    labels: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(fpr, tpr, thresholds)`` sweeping the decision threshold.
+
+    Thresholds are the distinct scores in decreasing order; a sample is
+    predicted positive when ``score >= threshold``. The curve starts at
+    ``(0, 0)`` with an infinite threshold.
+    """
+    labels, scores = _validate(labels, scores)
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+
+    distinct = np.flatnonzero(np.diff(sorted_scores) != 0)
+    threshold_idx = np.concatenate([distinct, [len(sorted_scores) - 1]])
+
+    tps = np.cumsum(sorted_labels)[threshold_idx]
+    fps = (threshold_idx + 1) - tps
+    positives = int(labels.sum())
+    negatives = len(labels) - positives
+
+    tpr = np.concatenate([[0.0], tps / positives])
+    fpr = np.concatenate([[0.0], fps / negatives])
+    thresholds = np.concatenate([[np.inf], sorted_scores[threshold_idx]])
+    return fpr, tpr, thresholds

@@ -1,0 +1,50 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`.
+
+Provides the layer, loss, optimizer, and training machinery needed to train
+the paper's CNN classifiers, plus probe-aware models that expose the hidden
+representations Deep Validation consumes.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Dense, Dropout, Flatten, Identity, ReLU, Softmax, Tanh
+from repro.nn.conv import Conv2d
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.norm import BatchNorm2d
+from repro.nn.sequential import ProbedSequential, Sequential
+from repro.nn.losses import cross_entropy, nll_loss
+from repro.nn.optim import SGD, Adadelta, Adam, Optimizer
+from repro.nn.trainer import Trainer, TrainingReport
+from repro.nn.serialize import load_state_dict, save_state_dict
+from repro.nn.augment import AugmentationPolicy, Augmenter, augmented_retraining
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "ReLU",
+    "Softmax",
+    "Tanh",
+    "Conv2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "MaxPool2d",
+    "BatchNorm2d",
+    "ProbedSequential",
+    "Sequential",
+    "cross_entropy",
+    "nll_loss",
+    "SGD",
+    "Adadelta",
+    "Adam",
+    "Optimizer",
+    "Trainer",
+    "TrainingReport",
+    "load_state_dict",
+    "save_state_dict",
+    "AugmentationPolicy",
+    "Augmenter",
+    "augmented_retraining",
+]

@@ -1,0 +1,120 @@
+"""Data augmentation: the countermeasure the paper argues is insufficient.
+
+Section I: existing solutions "mainly follow the idea of model retraining
+with data augmentation ... Unfortunately, real-world scenes can vary with
+many factors ... the training data we possess are just a relatively small
+fraction of all scenarios". This module implements that countermeasure so
+the claim can be measured: an augmentation pipeline over the Table I
+transforms, and a retraining helper that hardens a classifier on known
+corner-case families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.transforms.affine import (
+    rotation_matrix,
+    scale_matrix,
+    shear_matrix,
+    translation_matrix,
+    warp_affine,
+)
+from repro.transforms.photometric import adjust_brightness, adjust_contrast
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class AugmentationPolicy:
+    """Random-transform ranges applied independently per image.
+
+    Each range is ``(low, high)``; a transform is skipped when its range is
+    ``None``. Defaults cover moderate versions of the paper's families —
+    the realistic setting where the developer anticipates *some* variation
+    but cannot cover the full corner-case space.
+    """
+
+    rotation: tuple[float, float] | None = (-20.0, 20.0)
+    scale: tuple[float, float] | None = (0.8, 1.2)
+    shear: tuple[float, float] | None = (-0.2, 0.2)
+    translation: tuple[float, float] | None = (-3.0, 3.0)
+    brightness: tuple[float, float] | None = (-0.2, 0.2)
+    contrast: tuple[float, float] | None = (0.8, 1.2)
+
+    def sample_matrix(self, rng: np.random.Generator) -> np.ndarray:
+        """One random affine matrix combining the enabled geometric parts."""
+        matrix = np.eye(3)
+        if self.rotation is not None:
+            matrix = rotation_matrix(rng.uniform(*self.rotation)) @ matrix
+        if self.scale is not None:
+            factor = rng.uniform(*self.scale)
+            matrix = scale_matrix(factor, factor) @ matrix
+        if self.shear is not None:
+            matrix = shear_matrix(rng.uniform(*self.shear), rng.uniform(*self.shear)) @ matrix
+        if self.translation is not None:
+            matrix = (
+                translation_matrix(rng.uniform(*self.translation), rng.uniform(*self.translation))
+                @ matrix
+            )
+        return matrix
+
+
+class Augmenter:
+    """Applies a random :class:`AugmentationPolicy` draw to each image."""
+
+    def __init__(self, policy: AugmentationPolicy | None = None, rng: RngLike = 0) -> None:
+        self.policy = policy if policy is not None else AugmentationPolicy()
+        self._rng = new_rng(rng)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        """Augment a batch (N, C, H, W); each image gets its own draw."""
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) images, got shape {images.shape}")
+        out = np.empty_like(images)
+        policy = self.policy
+        for index, image in enumerate(images):
+            augmented = warp_affine(image, policy.sample_matrix(self._rng))
+            if policy.brightness is not None:
+                augmented = adjust_brightness(augmented, self._rng.uniform(*policy.brightness))
+            if policy.contrast is not None:
+                augmented = adjust_contrast(augmented, self._rng.uniform(*policy.contrast))
+            out[index] = augmented
+        return out
+
+
+def augmented_retraining(
+    model,
+    images: np.ndarray,
+    labels: np.ndarray,
+    epochs: int,
+    augmenter: Augmenter | None = None,
+    batch_size: int = 64,
+    lr: float = 1.0,
+    rng: RngLike = 0,
+):
+    """Harden ``model`` by continued training on augmented data.
+
+    Each epoch re-augments the whole training set with fresh draws (the
+    standard augmentation regime). Returns the per-epoch training report.
+    This is the paper's "model retraining with data augmentation"
+    countermeasure, provided so its limits can be measured against Deep
+    Validation (see ``benchmarks/test_extension_augmentation.py``).
+    """
+    from repro.nn.optim import Adadelta
+    from repro.nn.trainer import Trainer
+
+    augmenter = augmenter if augmenter is not None else Augmenter(rng=rng)
+    optimizer = Adadelta(model.parameters(), lr=lr)
+    trainer = Trainer(model, optimizer, batch_size=batch_size, rng=rng)
+    reports = []
+    for _ in range(epochs):
+        augmented = augmenter(images)
+        reports.append(trainer.fit(augmented, labels, epochs=1))
+    merged = reports[0]
+    for report in reports[1:]:
+        merged.epoch_losses.extend(report.epoch_losses)
+        merged.epoch_accuracies.extend(report.epoch_accuracies)
+    return merged

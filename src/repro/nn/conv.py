@@ -1,0 +1,46 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.init import he_normal
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike
+
+
+class Conv2d(Module):
+    """Square-kernel 2-D convolution over NCHW inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        bias: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        fan_in = in_channels * kernel * kernel
+        self.weight = Parameter(
+            he_normal((out_channels, in_channels, kernel, kernel), fan_in=fan_in, rng=rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=self.weight.dtype)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.conv2d(x, self.weight, self.bias, stride=self.stride, pad=self.pad)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels} -> {self.out_channels}, "
+            f"kernel={self.kernel}, stride={self.stride}, pad={self.pad})"
+        )

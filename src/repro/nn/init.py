@@ -1,0 +1,30 @@
+"""Weight initialisation schemes.
+
+Parameters are initialised in ``DEFAULT_DTYPE`` (float32): training a CNN in
+numpy is matmul-bound and single precision roughly halves wall-clock without
+hurting the experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+#: dtype used for network parameters and training batches.
+DEFAULT_DTYPE = np.float32
+
+
+def he_normal(shape: tuple[int, ...], fan_in: int, rng: RngLike = None) -> np.ndarray:
+    """He-et-al. normal init, appropriate for ReLU networks."""
+    gen = new_rng(rng)
+    return gen.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(DEFAULT_DTYPE)
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: RngLike = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform init, appropriate for tanh/linear layers."""
+    gen = new_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return gen.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)

@@ -1,0 +1,95 @@
+"""Dense and element-wise layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.init import he_normal
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike, new_rng
+
+
+class Dense(Module):
+    """Fully connected layer ``y = x @ W + b`` over (N, in_features) inputs."""
+
+    def __init__(self, in_features: int, out_features: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            he_normal((in_features, out_features), fan_in=in_features, rng=rng)
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=self.weight.dtype))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features} -> {self.out_features})"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Softmax(Module):
+    """Softmax over the class axis; the paper's final layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.softmax(x, axis=-1)
+
+    def __repr__(self) -> str:
+        return "Softmax()"
+
+
+class Flatten(Module):
+    """Collapse all axes after the batch axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: RngLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"

@@ -1,0 +1,27 @@
+"""Classification losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``labels`` under ``log_probs``."""
+    labels = np.asarray(labels)
+    if log_probs.ndim != 2:
+        raise ValueError(f"log_probs must be (N, classes), got {log_probs.shape}")
+    if labels.shape != (log_probs.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match batch {log_probs.shape[0]}"
+        )
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy from raw logits (numerically stable)."""
+    return nll_loss(ops.log_softmax(logits, axis=-1), labels)

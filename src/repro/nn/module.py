@@ -1,0 +1,141 @@
+"""Module and Parameter base classes.
+
+A :class:`Module` owns :class:`Parameter` tensors and child modules; it can
+enumerate them recursively for optimizers and (de)serialisation, and toggles
+train/eval mode for layers like dropout and batch-norm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter of a module."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and ``Module`` instances as
+    attributes; registration is automatic via ``__setattr__``. They implement
+    :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # -- forward -------------------------------------------------------------
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the module's output for input ``x`` (overridden by layers)."""
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    # -- traversal -----------------------------------------------------------
+
+    def children(self) -> Iterator["Module"]:
+        """Immediate child modules, in registration order."""
+        yield from self._modules.values()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """All learnable parameters with dotted names, depth-first."""
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All learnable parameters (for optimizers)."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # -- mode ----------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout, batch norm)."""
+        object.__setattr__(self, "training", mode)
+        for child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    # -- gradients -----------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state ---------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Learnable parameters plus registered buffers, by dotted name."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters/buffers saved by :meth:`state_dict` (strict keys)."""
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        missing = (set(params) | set(buffers)) - set(state)
+        unexpected = set(state) - (set(params) | set(buffers))
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                )
+            param.data[...] = value
+        for name, buf in buffers.items():
+            value = np.asarray(state[name])
+            if value.shape != buf.shape:
+                raise ValueError(
+                    f"shape mismatch for buffer {name}: {value.shape} vs {buf.shape}"
+                )
+            buf[...] = value
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Non-learnable state (e.g. batch-norm running statistics)."""
+        for name in getattr(self, "_buffer_names", ()):
+            yield f"{prefix}{name}", getattr(self, name)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-learnable state included in the state dict."""
+        if not hasattr(self, "_buffer_names"):
+            object.__setattr__(self, "_buffer_names", [])
+        self._buffer_names.append(name)
+        object.__setattr__(self, name, value)

@@ -1,0 +1,56 @@
+"""Batch normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch norm over the channel axis of NCHW inputs.
+
+    Keeps running statistics for eval mode, as usual. The backward pass for
+    training mode is routed through autograd by expressing the normalisation
+    with differentiable primitives.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        from repro.nn.init import DEFAULT_DTYPE
+
+        self.gamma = Parameter(np.ones(channels, dtype=DEFAULT_DTYPE))
+        self.beta = Parameter(np.zeros(channels, dtype=DEFAULT_DTYPE))
+        self.register_buffer("running_mean", np.zeros(channels, dtype=DEFAULT_DTYPE))
+        self.register_buffer("running_var", np.ones(channels, dtype=DEFAULT_DTYPE))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        gamma = self.gamma.reshape(1, self.channels, 1, 1)
+        beta = self.beta.reshape(1, self.channels, 1, 1)
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean
+            var = (centered**2).mean(axis=(0, 2, 3), keepdims=True)
+            normalised = centered * ((var + self.eps) ** -0.5)
+            self.running_mean[...] = (
+                self.momentum * self.running_mean
+                + (1 - self.momentum) * mean.data.reshape(-1)
+            )
+            self.running_var[...] = (
+                self.momentum * self.running_var
+                + (1 - self.momentum) * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(1, self.channels, 1, 1))
+            var = Tensor(self.running_var.reshape(1, self.channels, 1, 1))
+            normalised = (x - mean) * ((var + self.eps) ** -0.5)
+        return normalised * gamma + beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.channels})"

@@ -1,0 +1,128 @@
+"""Optimizers: SGD with momentum, Adam, and Adadelta (used by the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: list[Parameter]) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every managed parameter."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from the currently accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+class Adadelta(Optimizer):
+    """Adadelta (Zeiler 2012) — the optimizer the paper trains with.
+
+    ``lr`` scales the computed update (the paper uses an initial learning
+    rate of 1.0 with a decay factor of 0.95, which maps to ``rho=0.95``).
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1.0,
+        rho: float = 0.95,
+        eps: float = 1e-6,
+    ) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.rho = rho
+        self.eps = eps
+        self._accum_grad = [np.zeros_like(p.data) for p in self.params]
+        self._accum_update = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, acc_g, acc_u in zip(self.params, self._accum_grad, self._accum_update):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            acc_g *= self.rho
+            acc_g += (1 - self.rho) * grad**2
+            update = grad * np.sqrt(acc_u + self.eps) / np.sqrt(acc_g + self.eps)
+            acc_u *= self.rho
+            acc_u += (1 - self.rho) * update**2
+            param.data -= self.lr * update

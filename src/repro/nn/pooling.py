@@ -1,0 +1,43 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = kernel if stride is None else stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.max_pool2d(x, self.kernel, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel={self.kernel}, stride={self.stride})"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = kernel if stride is None else stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.avg_pool2d(x, self.kernel, self.stride)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(kernel={self.kernel}, stride={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial mean, collapsing (N, C, H, W) to (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.global_avg_pool2d(x)
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2d()"

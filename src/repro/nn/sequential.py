@@ -1,0 +1,176 @@
+"""Sequential containers, including the probe-aware variant.
+
+Deep Validation treats a classifier as a stack of *stages* (the paper's
+"layers"): each stage's output is a hidden representation to validate.
+:class:`ProbedSequential` makes those stage outputs first-class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.layers import Softmax
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """A plain ordered stack of modules."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the stacked modules in order."""
+        for module in self:
+            x = module(x)
+        return x
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(m) for m in self)
+        return f"Sequential({inner})"
+
+
+class ProbedSequential(Module):
+    """A classifier built from named stages with probeable outputs.
+
+    Parameters
+    ----------
+    stages:
+        ``(name, module)`` pairs. The final stage must map features to class
+        probabilities (conventionally ending in :class:`Softmax`); every
+        earlier stage output is a probe point — the hidden representations
+        that Deep Validation's validators consume.
+    """
+
+    def __init__(self, stages: Sequence[tuple[str, Module]]) -> None:
+        super().__init__()
+        if len(stages) < 2:
+            raise ValueError("a probed classifier needs at least two stages")
+        self._stage_names: list[str] = []
+        for name, module in stages:
+            if name in self._stage_names:
+                raise ValueError(f"duplicate stage name {name!r}")
+            setattr(self, name, module)
+            self._stage_names.append(name)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def stage_names(self) -> list[str]:
+        return list(self._stage_names)
+
+    @property
+    def probe_names(self) -> list[str]:
+        """Names of the hidden stages (all but the final softmax stage)."""
+        return self._stage_names[:-1]
+
+    def stage(self, name: str) -> Module:
+        """Look up a stage module by name."""
+        if name not in self._stage_names:
+            raise KeyError(f"unknown stage {name!r}")
+        return getattr(self, name)
+
+    # -- forward passes -------------------------------------------------------
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run every stage in order, returning class probabilities."""
+        for name in self._stage_names:
+            x = getattr(self, name)(x)
+        return x
+
+    def forward_probes(self, x: Tensor) -> tuple[Tensor, list[Tensor]]:
+        """Run the model returning ``(probabilities, hidden stage outputs)``."""
+        probes: list[Tensor] = []
+        for name in self._stage_names[:-1]:
+            x = getattr(self, name)(x)
+            probes.append(x)
+        final = getattr(self, self._stage_names[-1])(x)
+        return final, probes
+
+    def forward_logits(self, x: Tensor) -> Tensor:
+        """Run the model up to (but excluding) the final softmax.
+
+        Attacks and the cross-entropy loss need true logits. The final stage
+        must either be a bare :class:`Softmax` or a :class:`Sequential`
+        whose last module is one; anything else raises ``TypeError`` rather
+        than silently returning a non-logit.
+        """
+        final = getattr(self, self._stage_names[-1])
+        for name in self._stage_names[:-1]:
+            x = getattr(self, name)(x)
+        if isinstance(final, Softmax):
+            return x
+        if isinstance(final, Sequential) and len(final) > 0 and isinstance(
+            final[len(final) - 1], Softmax
+        ):
+            for module in list(final)[:-1]:
+                x = module(x)
+            return x
+        raise TypeError(
+            "forward_logits requires the final stage to be (or end in) "
+            f"Softmax, got {type(final).__name__}"
+        )
+
+    # -- numpy-facing inference helpers ---------------------------------------
+
+    def predict_proba(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities for a batch of images, without tape recording."""
+        self.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = Tensor(images[start : start + batch_size].astype(np.float32, copy=False))
+                outputs.append(self.forward(batch).data)
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted labels for a batch of images."""
+        return self.predict_proba(images, batch_size=batch_size).argmax(axis=1)
+
+    def hidden_representations(
+        self, images: np.ndarray, batch_size: int = 256
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Predictions plus flattened hidden representations per probe.
+
+        Returns ``(probabilities, reps)`` where ``reps[i]`` has shape
+        ``(N, features_i)`` — the probe outputs flattened per sample, which
+        is the exact representation the one-class SVM validators are fitted
+        on.
+        """
+        self.eval()
+        probs: list[np.ndarray] = []
+        reps: list[list[np.ndarray]] = [[] for _ in self.probe_names]
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = Tensor(images[start : start + batch_size].astype(np.float32, copy=False))
+                out, probes = self.forward_probes(batch)
+                probs.append(out.data)
+                for slot, probe in zip(reps, probes):
+                    slot.append(probe.data.reshape(probe.shape[0], -1))
+        return (
+            np.concatenate(probs, axis=0),
+            [np.concatenate(slot, axis=0) for slot in reps],
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._stage_names
+        )
+        return f"ProbedSequential({inner})"

@@ -1,0 +1,22 @@
+"""State-dict (de)serialisation to ``.npz`` files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state_dict(model: Module, path: str | Path) -> None:
+    """Save a model's parameters and buffers to a compressed ``.npz`` file."""
+    np.savez_compressed(str(path), **model.state_dict())
+
+
+def load_state_dict(model: Module, path: str | Path) -> Module:
+    """Load parameters and buffers saved by :func:`save_state_dict`."""
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,103 @@
+"""Mini-batch training loop for probed classifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.sequential import ProbedSequential
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class TrainingReport:
+    """Per-epoch loss/accuracy history of one training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.epoch_accuracies:
+            raise ValueError("no epochs recorded")
+        return self.epoch_accuracies[-1]
+
+
+class Trainer:
+    """Trains a classifier with mini-batch gradient descent.
+
+    Works with any :class:`~repro.nn.sequential.ProbedSequential` (training
+    on its logits) or any plain module whose forward output is logits.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        batch_size: int = 128,
+        rng: RngLike = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self._rng = new_rng(rng)
+
+    def _logits(self, batch: Tensor) -> Tensor:
+        if isinstance(self.model, ProbedSequential):
+            return self.model.forward_logits(batch)
+        return self.model(batch)
+
+    def fit(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        verbose: bool = False,
+    ) -> TrainingReport:
+        """Train for ``epochs`` passes over ``(images, labels)``."""
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have equal length")
+        report = TrainingReport()
+        count = len(images)
+        for epoch in range(epochs):
+            self.model.train()
+            order = self._rng.permutation(count)
+            losses: list[float] = []
+            correct = 0
+            for start in range(0, count, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                batch = Tensor(images[idx].astype(np.float32, copy=False))
+                batch_labels = labels[idx]
+                self.optimizer.zero_grad()
+                logits = self._logits(batch)
+                loss = cross_entropy(logits, batch_labels)
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
+                correct += int((logits.data.argmax(axis=1) == batch_labels).sum())
+            report.epoch_losses.append(float(np.mean(losses)))
+            report.epoch_accuracies.append(correct / count)
+            if verbose:
+                print(
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={report.epoch_losses[-1]:.4f} "
+                    f"acc={report.epoch_accuracies[-1]:.4f}"
+                )
+        return report
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on a held-out set."""
+        if isinstance(self.model, ProbedSequential):
+            predictions = self.model.predict(images)
+        else:
+            self.model.eval()
+            from repro.autograd.tensor import no_grad
+
+            with no_grad():
+                predictions = self.model(Tensor(images)).data.argmax(axis=1)
+        return float((predictions == labels).mean())

@@ -1,0 +1,22 @@
+"""One-class support vector machines (Schölkopf et al. 2001), from scratch.
+
+The paper fits one ν-one-class SVM per (layer, class) pair on the hidden
+representations of correctly classified training images, and scores test
+inputs by their signed distance to the learned supporting hyperplane. This
+package provides the kernels, the SMO dual solver, and the estimator — a
+drop-in replacement for the scikit-learn implementation the paper used.
+"""
+
+from repro.svm.kernels import Kernel, LinearKernel, PolynomialKernel, RBFKernel, make_kernel
+from repro.svm.oneclass import OneClassSVM
+from repro.svm.scaler import StandardScaler
+
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "RBFKernel",
+    "make_kernel",
+    "OneClassSVM",
+    "StandardScaler",
+]

@@ -1,0 +1,89 @@
+"""Kernel functions for the one-class SVM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Kernel:
+    """A positive-definite kernel ``k(x, y)`` evaluated on row batches."""
+
+    name: str = "kernel"
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Gram matrix of shape ``(len(a), len(b))``."""
+        raise NotImplementedError
+
+    def diag(self, a: np.ndarray) -> np.ndarray:
+        """``k(x, x)`` for each row of ``a`` (cheaper than the full Gram)."""
+        raise NotImplementedError
+
+
+class LinearKernel(Kernel):
+    """``k(x, y) = x . y``"""
+
+    name = "linear"
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b.T
+
+    def diag(self, a: np.ndarray) -> np.ndarray:
+        return np.einsum("ij,ij->i", a, a)
+
+
+class RBFKernel(Kernel):
+    """``k(x, y) = exp(-gamma ||x - y||^2)``"""
+
+    name = "rbf"
+
+    def __init__(self, gamma: float) -> None:
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = gamma
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a_sq = np.einsum("ij,ij->i", a, a)[:, None]
+        b_sq = np.einsum("ij,ij->i", b, b)[None, :]
+        sq_dist = np.maximum(a_sq + b_sq - 2.0 * (a @ b.T), 0.0)
+        return np.exp(-self.gamma * sq_dist)
+
+    def diag(self, a: np.ndarray) -> np.ndarray:
+        return np.ones(len(a))
+
+
+class PolynomialKernel(Kernel):
+    """``k(x, y) = (gamma x . y + coef0)^degree``"""
+
+    name = "poly"
+
+    def __init__(self, degree: int = 3, gamma: float = 1.0, coef0: float = 1.0) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        self.gamma = gamma
+        self.coef0 = coef0
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (self.gamma * (a @ b.T) + self.coef0) ** self.degree
+
+    def diag(self, a: np.ndarray) -> np.ndarray:
+        return (self.gamma * np.einsum("ij,ij->i", a, a) + self.coef0) ** self.degree
+
+
+def scale_gamma(features: np.ndarray) -> float:
+    """scikit-learn's ``gamma='scale'`` heuristic: ``1 / (d * var(X))``."""
+    variance = float(features.var())
+    if variance <= 0:
+        variance = 1.0
+    return 1.0 / (features.shape[1] * variance)
+
+
+def make_kernel(name: str, features: np.ndarray, gamma: float | None = None) -> Kernel:
+    """Build a kernel by name, inferring RBF gamma from data when omitted."""
+    if name == "linear":
+        return LinearKernel()
+    if name == "rbf":
+        return RBFKernel(gamma if gamma is not None else scale_gamma(features))
+    if name == "poly":
+        return PolynomialKernel(gamma=gamma if gamma is not None else scale_gamma(features))
+    raise ValueError(f"unknown kernel {name!r}; expected linear, rbf, or poly")

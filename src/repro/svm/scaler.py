@@ -1,0 +1,39 @@
+"""Per-feature standardisation for hidden representations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Standardise features to zero mean, unit variance.
+
+    Hidden representations from different layers live on wildly different
+    scales; standardising before kernel evaluation keeps a single RBF gamma
+    heuristic meaningful everywhere.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Estimate per-feature mean and scale from (N, d) features."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"expected (N, d) features, got shape {features.shape}")
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Standardise features with the fitted statistics."""
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(features).transform(features)

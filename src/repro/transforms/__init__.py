@@ -1,0 +1,57 @@
+"""Naturally occurring image transformations (paper Section III-A, Table I).
+
+Images are float arrays in ``[0, 1]`` with layout ``(C, H, W)`` for a single
+image or ``(N, C, H, W)`` for a batch; every transform accepts both.
+"""
+
+from repro.transforms.affine import (
+    rotation_matrix,
+    scale_matrix,
+    shear_matrix,
+    translation_matrix,
+    warp_affine,
+)
+from repro.transforms.photometric import adjust_brightness, adjust_contrast, complement
+from repro.transforms.compose import (
+    Brightness,
+    Complement,
+    Compose,
+    Contrast,
+    Rotation,
+    Scale,
+    Shear,
+    Transform,
+    Translation,
+)
+from repro.transforms.corruption import (
+    CORRUPTION_BATTERY,
+    Fog,
+    GaussianBlur,
+    GaussianNoise,
+    Occlusion,
+)
+
+__all__ = [
+    "rotation_matrix",
+    "scale_matrix",
+    "shear_matrix",
+    "translation_matrix",
+    "warp_affine",
+    "adjust_brightness",
+    "adjust_contrast",
+    "complement",
+    "Transform",
+    "Compose",
+    "Brightness",
+    "Contrast",
+    "Rotation",
+    "Shear",
+    "Scale",
+    "Translation",
+    "Complement",
+    "CORRUPTION_BATTERY",
+    "GaussianBlur",
+    "GaussianNoise",
+    "Occlusion",
+    "Fog",
+]

@@ -1,0 +1,112 @@
+"""Affine transformations in homogeneous coordinates (paper Table I).
+
+A transform is a 3×3 matrix ``T`` mapping homogeneous *output* coordinates
+back to source coordinates is handled internally: ``warp_affine`` applies
+``T`` to image content about the image centre with bilinear interpolation
+(inverse mapping + zero fill), which mimics what a camera misalignment does
+to a captured frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rotation_matrix(theta_degrees: float) -> np.ndarray:
+    """Rotation by ``theta_degrees`` counter-clockwise about the centre."""
+    theta = np.deg2rad(theta_degrees)
+    cos, sin = np.cos(theta), np.sin(theta)
+    return np.array(
+        [
+            [cos, sin, 0.0],
+            [-sin, cos, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def shear_matrix(sh: float, sv: float) -> np.ndarray:
+    """Shear with ratio ``sh`` along x and ``sv`` along y."""
+    return np.array(
+        [
+            [1.0, sh, 0.0],
+            [sv, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def scale_matrix(sx: float, sy: float) -> np.ndarray:
+    """Scale content by ``sx`` along x and ``sy`` along y."""
+    if sx <= 0 or sy <= 0:
+        raise ValueError(f"scale factors must be positive, got ({sx}, {sy})")
+    return np.array(
+        [
+            [sx, 0.0, 0.0],
+            [0.0, sy, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def translation_matrix(tx: float, ty: float) -> np.ndarray:
+    """Translate content by ``tx`` pixels along x and ``ty`` along y."""
+    return np.array(
+        [
+            [1.0, 0.0, tx],
+            [0.0, 1.0, ty],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def _as_batch(images: np.ndarray) -> tuple[np.ndarray, bool]:
+    if images.ndim == 3:
+        return images[None], True
+    if images.ndim == 4:
+        return images, False
+    raise ValueError(f"expected (C, H, W) or (N, C, H, W), got shape {images.shape}")
+
+
+def warp_affine(images: np.ndarray, matrix: np.ndarray, fill: float = 0.0) -> np.ndarray:
+    """Apply a forward affine ``matrix`` to image content about the centre.
+
+    Uses inverse mapping with bilinear interpolation; source samples falling
+    outside the image read ``fill``. Accepts ``(C, H, W)`` or ``(N, C, H, W)``
+    and returns the same layout.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (3, 3):
+        raise ValueError(f"matrix must be 3x3, got {matrix.shape}")
+    batch, squeeze = _as_batch(np.asarray(images, dtype=np.float64))
+    n, channels, height, width = batch.shape
+
+    inverse = np.linalg.inv(matrix)
+    # Output pixel grid in centred coordinates (x right, y down).
+    ys, xs = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+    cy, cx = (height - 1) / 2.0, (width - 1) / 2.0
+    coords = np.stack(
+        [xs.ravel() - cx, ys.ravel() - cy, np.ones(height * width)], axis=0
+    )
+    src = inverse @ coords
+    src_x = src[0] + cx
+    src_y = src[1] + cy
+
+    x0 = np.floor(src_x).astype(int)
+    y0 = np.floor(src_y).astype(int)
+    x1, y1 = x0 + 1, y0 + 1
+    wx = src_x - x0
+    wy = src_y - y0
+
+    def gather(yi: np.ndarray, xi: np.ndarray) -> np.ndarray:
+        valid = (yi >= 0) & (yi < height) & (xi >= 0) & (xi < width)
+        yc = np.clip(yi, 0, height - 1)
+        xc = np.clip(xi, 0, width - 1)
+        values = batch[:, :, yc, xc]  # (N, C, H*W)
+        return np.where(valid, values, fill)
+
+    top = gather(y0, x0) * (1 - wx) + gather(y0, x1) * wx
+    bottom = gather(y1, x0) * (1 - wx) + gather(y1, x1) * wx
+    out = top * (1 - wy) + bottom * wy
+    out = out.reshape(n, channels, height, width)
+    return out[0] if squeeze else out

@@ -1,0 +1,178 @@
+"""Parameterised transform objects and composition.
+
+These wrap the functional transforms with their parameters so corner-case
+suites can record exactly which configuration produced each image (the
+paper's Table V reports the chosen parameters per transformation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.transforms.affine import (
+    rotation_matrix,
+    scale_matrix,
+    shear_matrix,
+    translation_matrix,
+    warp_affine,
+)
+from repro.transforms.photometric import adjust_brightness, adjust_contrast, complement
+
+
+class Transform:
+    """A named, parameterised image transform."""
+
+    name: str = "transform"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> dict[str, float]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable ``name(param=value, ...)`` label for reports."""
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.params.items())
+        return f"{self.name}({inner})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True, repr=False)
+class Brightness(Transform):
+    """Brightness bias ``beta`` (paper: pixel values shifted by a constant)."""
+
+    beta: float
+    name = "brightness"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return adjust_brightness(images, self.beta)
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"beta": self.beta}
+
+
+@dataclass(frozen=True, repr=False)
+class Contrast(Transform):
+    """Contrast gain ``alpha`` (pixel values scaled by a constant)."""
+
+    alpha: float
+    name = "contrast"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return adjust_contrast(images, self.alpha)
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"alpha": self.alpha}
+
+
+@dataclass(frozen=True, repr=False)
+class Rotation(Transform):
+    """Rotation by ``theta`` degrees about the image centre."""
+
+    theta: float
+    name = "rotation"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return warp_affine(images, rotation_matrix(self.theta))
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"theta": self.theta}
+
+
+@dataclass(frozen=True, repr=False)
+class Shear(Transform):
+    """Shear with ratios ``(sh, sv)`` along x and y."""
+
+    sh: float
+    sv: float
+    name = "shear"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return warp_affine(images, shear_matrix(self.sh, self.sv))
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"sh": self.sh, "sv": self.sv}
+
+
+@dataclass(frozen=True, repr=False)
+class Scale(Transform):
+    """Scale content by ``(sx, sy)``; ratios below 1 shrink the object."""
+
+    sx: float
+    sy: float
+    name = "scale"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return warp_affine(images, scale_matrix(self.sx, self.sy))
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"sx": self.sx, "sy": self.sy}
+
+
+@dataclass(frozen=True, repr=False)
+class Translation(Transform):
+    """Shift content by ``(tx, ty)`` pixels."""
+
+    tx: float
+    ty: float
+    name = "translation"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return warp_affine(images, translation_matrix(self.tx, self.ty))
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"tx": self.tx, "ty": self.ty}
+
+
+@dataclass(frozen=True, repr=False)
+class Complement(Transform):
+    """Flip all pixel values of a greyscale image (paper: MNIST only)."""
+
+    max_value: float = 1.0
+    name = "complement"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return complement(images, self.max_value)
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"max_value": self.max_value}
+
+
+class Compose(Transform):
+    """Apply ``transforms`` left to right (the paper's combined transforms)."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        if not transforms:
+            raise ValueError("Compose requires at least one transform")
+        self.transforms = list(transforms)
+        self.name = "+".join(t.name for t in self.transforms)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images)
+        return images
+
+    @property
+    def params(self) -> dict[str, float]:
+        merged: dict[str, float] = {}
+        for transform in self.transforms:
+            for key, value in transform.params.items():
+                merged[f"{transform.name}.{key}"] = value
+        return merged
+
+    def describe(self) -> str:
+        """Arrow-joined labels of the component transforms, in order."""
+        return " -> ".join(t.describe() for t in self.transforms)

@@ -1,0 +1,138 @@
+"""Beyond-paper natural corruptions: blur, noise, occlusion, fog.
+
+The paper's transform set (Table IV) covers photometric and affine changes;
+the testing literature it builds on (DeepTest, DeepRoad) also exercises
+weather- and sensor-style corruptions. These extend the corner-case family
+for the extension experiments — a scenario-agnostic detector should flag
+them too, despite never having seen them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.transforms.compose import Transform
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True, repr=False)
+class GaussianBlur(Transform):
+    """Defocus/motion-free blur with standard deviation ``sigma`` pixels."""
+
+    sigma: float
+    name = "blur"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        images = np.asarray(images, dtype=np.float64)
+        spatial = (0,) * (images.ndim - 2) + (self.sigma, self.sigma)
+        return np.clip(gaussian_filter(images, sigma=spatial), 0.0, 1.0)
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"sigma": self.sigma}
+
+
+@dataclass(frozen=True, repr=False)
+class GaussianNoise(Transform):
+    """Sensor noise with standard deviation ``sigma``; seeded for replay."""
+
+    sigma: float
+    seed: int = 0
+    name = "noise"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        images = np.asarray(images, dtype=np.float64)
+        rng = new_rng(self.seed)
+        return np.clip(images + rng.normal(0.0, self.sigma, size=images.shape), 0.0, 1.0)
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"sigma": self.sigma, "seed": self.seed}
+
+
+@dataclass(frozen=True, repr=False)
+class Occlusion(Transform):
+    """A grey square of side ``size`` pixels at a seeded random position.
+
+    Simulates dirt on the lens or an object blocking part of the view.
+    """
+
+    size: int
+    value: float = 0.5
+    seed: int = 0
+    name = "occlusion"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        if self.size < 1:
+            raise ValueError(f"size must be >= 1, got {self.size}")
+        images = np.array(images, dtype=np.float64, copy=True)
+        squeeze = images.ndim == 3
+        if squeeze:
+            images = images[None]
+        height, width = images.shape[-2:]
+        if self.size >= min(height, width):
+            raise ValueError(
+                f"occlusion size {self.size} does not fit {height}x{width} images"
+            )
+        rng = new_rng(self.seed)
+        for image in images:
+            top = int(rng.integers(0, height - self.size + 1))
+            left = int(rng.integers(0, width - self.size + 1))
+            image[:, top : top + self.size, left : left + self.size] = self.value
+        return images[0] if squeeze else images
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"size": self.size, "value": self.value, "seed": self.seed}
+
+
+@dataclass(frozen=True, repr=False)
+class Fog(Transform):
+    """Blend toward white with smooth spatial variation of density.
+
+    ``density`` in [0, 1] is the mean fog opacity; a low-frequency random
+    field modulates it spatially like patchy fog.
+    """
+
+    density: float
+    seed: int = 0
+    name = "fog"
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        if not 0.0 <= self.density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {self.density}")
+        images = np.asarray(images, dtype=np.float64)
+        squeeze = images.ndim == 3
+        if squeeze:
+            images = images[None]
+        rng = new_rng(self.seed)
+        height, width = images.shape[-2:]
+        field = gaussian_filter(
+            rng.random((len(images), 1, height, width)), sigma=(0, 0, 5, 5)
+        )
+        span = field.max(axis=(2, 3), keepdims=True) - field.min(axis=(2, 3), keepdims=True)
+        field = (field - field.min(axis=(2, 3), keepdims=True)) / np.maximum(span, 1e-9)
+        opacity = np.clip(self.density * (0.5 + field), 0.0, 1.0)
+        fogged = images * (1 - opacity) + 1.0 * opacity
+        fogged = np.clip(fogged, 0.0, 1.0)
+        return fogged[0] if squeeze else fogged
+
+    @property
+    def params(self) -> dict[str, float]:
+        return {"density": self.density, "seed": self.seed}
+
+
+#: A representative unseen-corruption battery for extension experiments.
+CORRUPTION_BATTERY = (
+    GaussianBlur(1.5),
+    GaussianNoise(0.15),
+    Occlusion(9),
+    Fog(0.6),
+)

@@ -1,0 +1,37 @@
+"""Photometric transformations: brightness, contrast, complement.
+
+All operate on float images in ``[0, 1]`` and clip back into range, matching
+how a camera sensor saturates under illumination changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def adjust_brightness(images: np.ndarray, beta: float) -> np.ndarray:
+    """Add a constant bias ``beta`` to every pixel and clip to [0, 1]."""
+    return np.clip(np.asarray(images, dtype=np.float64) + beta, 0.0, 1.0)
+
+
+def adjust_contrast(images: np.ndarray, alpha: float) -> np.ndarray:
+    """Multiply every pixel by a constant gain ``alpha`` and clip to [0, 1]."""
+    if alpha < 0:
+        raise ValueError(f"contrast gain must be non-negative, got {alpha}")
+    return np.clip(np.asarray(images, dtype=np.float64) * alpha, 0.0, 1.0)
+
+
+def complement(images: np.ndarray, max_value: float = 1.0) -> np.ndarray:
+    """Flip all pixel values (``max_value - x``); greyscale images only.
+
+    The paper applies complement only to greyscale datasets: the complement
+    of a colour image looks unnatural rather than like a plausible scene.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    channel_axis = 0 if images.ndim == 3 else 1
+    if images.shape[channel_axis] != 1:
+        raise ValueError(
+            "complement is defined for single-channel (greyscale) images; "
+            f"got {images.shape[channel_axis]} channels"
+        )
+    return np.clip(max_value - images, 0.0, 1.0)

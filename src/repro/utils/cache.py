@@ -1,0 +1,83 @@
+"""On-disk artifact cache shared by tests, benchmarks, and examples.
+
+Training even a small CNN in pure numpy takes tens of seconds, so every
+expensive artifact (trained models, fitted validators, searched corner-case
+suites) is cached on disk keyed by a stable hash of its configuration.
+Entries are pickled; the cache directory defaults to ``.artifacts/`` at the
+repository root and can be relocated with the ``REPRO_CACHE_DIR``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable
+
+
+def _stable_hash(config: Any) -> str:
+    """Hash an arbitrary JSON-serialisable config into a short hex key."""
+    payload = json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+class ArtifactCache:
+    """A content-addressed pickle cache.
+
+    Keys are ``(name, config)`` pairs; ``config`` must be JSON-serialisable
+    (anything else is stringified, which is fine as long as the string is
+    stable across runs).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, name: str, config: Any) -> Path:
+        """Deterministic cache path for a (name, config) pair."""
+        return self.root / f"{name}-{_stable_hash(config)}.pkl"
+
+    def contains(self, name: str, config: Any) -> bool:
+        """Whether a cached entry exists for (name, config)."""
+        return self.path_for(name, config).exists()
+
+    def load(self, name: str, config: Any) -> Any:
+        """Unpickle the cached value for (name, config)."""
+        path = self.path_for(name, config)
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    def store(self, name: str, config: Any, value: Any) -> None:
+        """Pickle ``value`` under (name, config), atomically."""
+        path = self.path_for(name, config)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def get_or_build(self, name: str, config: Any, build: Callable[[], Any]) -> Any:
+        """Return the cached value for ``(name, config)``, building it once."""
+        if self.contains(name, config):
+            return self.load(name, config)
+        value = build()
+        self.store(name, config, value)
+        return value
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        removed = 0
+        for path in self.root.glob("*.pkl"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def default_cache() -> ArtifactCache:
+    """The repository-wide cache (``.artifacts/`` or ``$REPRO_CACHE_DIR``)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = Path(__file__).resolve().parents[3] / ".artifacts"
+    return ArtifactCache(root)

@@ -1,0 +1,39 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library takes either an integer seed or a
+``numpy.random.Generator``. These helpers normalise between the two and let a
+parent generator spawn independent child streams, so experiments are
+reproducible end to end from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = int | np.random.Generator | None
+
+
+def new_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    ``seed`` may be an integer, an existing generator (returned unchanged so
+    callers can thread a single stream through a pipeline), or ``None`` for
+    OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
+    """Spawn ``count`` statistically independent child generators.
+
+    Independence comes from ``SeedSequence.spawn``, so the children do not
+    overlap even when ``count`` is large.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(count)]

@@ -1,0 +1,35 @@
+"""Small argument-validation helpers used across the public API."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> None:
+    """Raise ``ValueError`` unless ``array`` matches ``shape``.
+
+    ``None`` entries in ``shape`` match any extent on that axis.
+    """
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {array.shape}"
+        )
+    for axis, (got, want) in enumerate(zip(array.shape, shape)):
+        if want is not None and got != want:
+            raise ValueError(
+                f"{name} axis {axis} must have extent {want}, got shape {array.shape}"
+            )

@@ -1,0 +1,29 @@
+"""Model zoo: the paper's three classifier architectures plus training recipes.
+
+Architectures follow the paper (Section IV-A): a seven-layer CNN for the
+MNIST look-alike, the Table II seven-layer CNN for the SVHN look-alike, and
+a DenseNet for the CIFAR look-alike. Channel counts are scaled down so the
+models train in pure numpy at laptop scale; layer taxonomy, depth structure,
+and probe placement are preserved.
+"""
+
+from repro.zoo.architectures import densenet, mnist_cnn, svhn_cnn
+from repro.zoo.densenet import DenseLayer, TransitionLayer
+from repro.zoo.recipes import (
+    TRAINING_PROFILES,
+    TrainedClassifier,
+    architecture_summary,
+    get_trained_classifier,
+)
+
+__all__ = [
+    "mnist_cnn",
+    "svhn_cnn",
+    "densenet",
+    "DenseLayer",
+    "TransitionLayer",
+    "TrainedClassifier",
+    "get_trained_classifier",
+    "TRAINING_PROFILES",
+    "architecture_summary",
+]

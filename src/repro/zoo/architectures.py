@@ -1,0 +1,118 @@
+"""The three classifier architectures used in the paper's evaluation.
+
+Each builder returns a :class:`~repro.nn.sequential.ProbedSequential` whose
+hidden stages are the paper's "layers": the MNIST and SVHN models have six
+hidden layers plus the softmax layer (seven layers, six single validators,
+matching Table VI), and the DenseNet has twelve probeable layers of which
+Deep Validation validates the rear six (Section IV-C).
+
+``width`` scales channel counts so the same topology can run as a fast test
+model or a fuller benchmark model.
+"""
+
+from __future__ import annotations
+
+from repro.nn.conv import Conv2d
+from repro.nn.layers import Dense, Flatten, ReLU, Softmax
+from repro.nn.pooling import GlobalAvgPool2d, MaxPool2d
+from repro.nn.sequential import ProbedSequential, Sequential
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.zoo.densenet import DenseLayer, TransitionLayer
+
+
+def mnist_cnn(width: int = 8, rng: RngLike = 0) -> ProbedSequential:
+    """Seven-layer CNN for 28×28×1 inputs (the paper's MNIST model shape).
+
+    conv-relu, conv-relu-pool, conv-relu, conv-relu-pool, fc-relu, fc-relu,
+    softmax. ``width`` is the first conv's filter count (the paper's
+    full-scale model uses 32).
+    """
+    rngs = spawn_rngs(rng, 7)
+    c1, c2 = width, width * 2
+    fc = width * 8
+    flat = c2 * 4 * 4  # 28 -> 24 -> 22/pool 11 -> 9 -> 8/pool 4
+    return ProbedSequential(
+        [
+            ("conv1", Sequential(Conv2d(1, c1, kernel=5, rng=rngs[0]), ReLU())),
+            (
+                "conv2",
+                Sequential(Conv2d(c1, c1, kernel=3, rng=rngs[1]), ReLU(), MaxPool2d(2)),
+            ),
+            ("conv3", Sequential(Conv2d(c1, c2, kernel=3, rng=rngs[2]), ReLU())),
+            (
+                "conv4",
+                Sequential(Conv2d(c2, c2, kernel=2, rng=rngs[3]), ReLU(), MaxPool2d(2)),
+            ),
+            ("fc1", Sequential(Flatten(), Dense(flat, fc, rng=rngs[4]), ReLU())),
+            ("fc2", Sequential(Dense(fc, fc, rng=rngs[5]), ReLU())),
+            ("softmax", Sequential(Dense(fc, 10, rng=rngs[6]), Softmax())),
+        ]
+    )
+
+
+def svhn_cnn(width: int = 8, rng: RngLike = 0) -> ProbedSequential:
+    """The Table II seven-layer CNN for 32×32×3 inputs.
+
+    conv-relu, conv-relu-pool, conv-relu, conv-relu-pool, fc-relu, fc-relu,
+    softmax — the paper's full-scale filter counts are 64/64/128/128 with
+    256-wide fully connected layers; ``width`` rescales all of them.
+    """
+    rngs = spawn_rngs(rng, 7)
+    c1, c2 = width, width * 2
+    fc = width * 8
+    flat = c2 * 6 * 6  # 32 -> 30 -> 28/pool 14 -> 12/pool 6 (pad on conv3)
+    return ProbedSequential(
+        [
+            ("conv1", Sequential(Conv2d(3, c1, kernel=3, rng=rngs[0]), ReLU())),
+            (
+                "conv2",
+                Sequential(Conv2d(c1, c1, kernel=3, rng=rngs[1]), ReLU(), MaxPool2d(2)),
+            ),
+            (
+                "conv3",
+                Sequential(Conv2d(c1, c2, kernel=3, pad=1, rng=rngs[2]), ReLU()),
+            ),
+            (
+                "conv4",
+                Sequential(Conv2d(c2, c2, kernel=3, rng=rngs[3]), ReLU(), MaxPool2d(2)),
+            ),
+            ("fc1", Sequential(Flatten(), Dense(flat, fc, rng=rngs[4]), ReLU())),
+            ("fc2", Sequential(Dense(fc, fc, rng=rngs[5]), ReLU())),
+            ("softmax", Sequential(Dense(fc, 10, rng=rngs[6]), Softmax())),
+        ]
+    )
+
+
+def densenet(
+    growth: int = 6,
+    block_layers: int = 3,
+    initial_channels: int = 8,
+    rng: RngLike = 0,
+) -> ProbedSequential:
+    """A probed DenseNet for 32×32×3 inputs (the paper's CIFAR-10 model).
+
+    Structure: init conv, three dense blocks of ``block_layers`` layers with
+    transitions between them, then global average pooling into the softmax
+    classifier. With the defaults this yields twelve probeable layers; the
+    paper's rear-layer policy validates the last six.
+    """
+    rngs = iter(spawn_rngs(rng, 3 * block_layers + 4))
+    stages: list[tuple[str, object]] = []
+    channels = initial_channels
+    stages.append(
+        ("init", Sequential(Conv2d(3, channels, kernel=3, pad=1, rng=next(rngs)), ReLU()))
+    )
+    for block in range(3):
+        for layer in range(block_layers):
+            dense_layer = DenseLayer(channels, growth, rng=next(rngs))
+            stages.append((f"block{block + 1}_layer{layer + 1}", dense_layer))
+            channels = dense_layer.out_channels
+        if block < 2:
+            out_channels = max(channels // 2, growth)
+            stages.append(
+                (f"transition{block + 1}", TransitionLayer(channels, out_channels, rng=next(rngs)))
+            )
+            channels = out_channels
+    stages.append(("pool", GlobalAvgPool2d()))
+    stages.append(("softmax", Sequential(Dense(channels, 10, rng=next(rngs)), Softmax())))
+    return ProbedSequential(stages)

@@ -1,0 +1,83 @@
+"""Convolutional denoising autoencoder (the MagNet reformer substrate).
+
+MagNet (Meng & Chen, CCS 2017) — the other prediction-inconsistency
+baseline the paper surveys — detects and "reforms" inputs with
+autoencoders trained on clean data. This module provides the autoencoder:
+encoder (conv → pool → conv), decoder (upsample → conv → sigmoid), trained
+to reconstruct clean images from lightly noised copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.utils.rng import RngLike, new_rng, spawn_rngs
+
+
+class ConvAutoencoder(Module):
+    """conv-relu, pool, conv-relu, upsample, conv-sigmoid.
+
+    Works for any even spatial extent (28×28, 32×32, ...).
+    """
+
+    def __init__(self, channels: int, hidden: int = 8, rng: RngLike = 0) -> None:
+        super().__init__()
+        rngs = spawn_rngs(rng, 3)
+        self.encode1 = Conv2d(channels, hidden, kernel=3, pad=1, rng=rngs[0])
+        self.encode2 = Conv2d(hidden, hidden, kernel=3, pad=1, rng=rngs[1])
+        self.decode = Conv2d(hidden, channels, kernel=3, pad=1, rng=rngs[2])
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = ops.relu(self.encode1(x))
+        hidden = ops.avg_pool2d(hidden, kernel=2)
+        hidden = ops.relu(self.encode2(hidden))
+        hidden = ops.upsample2d(hidden, factor=2)
+        return ops.sigmoid(self.decode(hidden))
+
+    def reconstruct(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Reconstruct a numpy batch without tape recording."""
+        self.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = Tensor(images[start : start + batch_size].astype(np.float32, copy=False))
+                outputs.append(self.forward(batch).data)
+        return np.concatenate(outputs, axis=0)
+
+
+def train_autoencoder(
+    autoencoder: ConvAutoencoder,
+    images: np.ndarray,
+    epochs: int = 5,
+    batch_size: int = 64,
+    noise_sigma: float = 0.05,
+    lr: float = 2e-3,
+    rng: RngLike = 0,
+) -> list[float]:
+    """Denoising-autoencoder training; returns per-epoch mean MSE."""
+    gen = new_rng(rng)
+    optimizer = Adam(autoencoder.parameters(), lr=lr)
+    history = []
+    count = len(images)
+    for _ in range(epochs):
+        autoencoder.train()
+        order = gen.permutation(count)
+        losses = []
+        for start in range(0, count, batch_size):
+            idx = order[start : start + batch_size]
+            clean = images[idx].astype(np.float32, copy=False)
+            noisy = clean + gen.normal(0.0, noise_sigma, size=clean.shape).astype(np.float32)
+            noisy = np.clip(noisy, 0.0, 1.0)
+            optimizer.zero_grad()
+            output = autoencoder(Tensor(noisy))
+            loss = ((output - Tensor(clean)) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+    return history

@@ -1,0 +1,56 @@
+"""DenseNet building blocks (Huang et al. 2017).
+
+Within a dense block, every layer receives the concatenation of all earlier
+feature maps — which composes *sequentially*: each :class:`DenseLayer` maps
+``x`` to ``concat([x, H(x)])``. That makes a DenseNet expressible as a
+probed sequential stack, exactly what Deep Validation's per-layer probes
+need (the paper validates the last six layers of its DenseNet).
+"""
+
+from __future__ import annotations
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.utils.rng import RngLike
+
+
+class DenseLayer(Module):
+    """One dense-block layer: ``x -> concat([x, relu(bn(conv3x3(x)))])``."""
+
+    def __init__(self, in_channels: int, growth: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.growth = growth
+        self.conv = Conv2d(in_channels, growth, kernel=3, pad=1, bias=False, rng=rng)
+        self.bn = BatchNorm2d(growth)
+
+    @property
+    def out_channels(self) -> int:
+        return self.in_channels + self.growth
+
+    def forward(self, x: Tensor) -> Tensor:
+        new_features = ops.relu(self.bn(self.conv(x)))
+        return ops.concat([x, new_features], axis=1)
+
+    def __repr__(self) -> str:
+        return f"DenseLayer({self.in_channels} -> {self.out_channels}, growth={self.growth})"
+
+
+class TransitionLayer(Module):
+    """Dense-block transition: 1×1 compression conv then 2×2 average pooling."""
+
+    def __init__(self, in_channels: int, out_channels: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.conv = Conv2d(in_channels, out_channels, kernel=1, bias=False, rng=rng)
+        self.bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.avg_pool2d(ops.relu(self.bn(self.conv(x))), kernel=2)
+
+    def __repr__(self) -> str:
+        return f"TransitionLayer({self.in_channels} -> {self.out_channels})"

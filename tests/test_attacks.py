@@ -1,0 +1,166 @@
+"""Tests for the white-box attack suite."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BIM,
+    FGSM,
+    JSMA,
+    AttackResult,
+    CarliniL0,
+    CarliniL2,
+    CarliniLinf,
+    input_gradient,
+    least_likely_targets,
+    next_class_targets,
+)
+from repro.attacks.base import logits_jacobian
+
+
+@pytest.fixture(scope="module")
+def attack_setup(mnist_context):
+    model = mnist_context.model
+    dataset = mnist_context.dataset
+    predictions = model.predict(dataset.test_images)
+    correct = np.flatnonzero(predictions == dataset.test_labels)[:12]
+    return model, dataset.test_images[correct], dataset.test_labels[correct]
+
+
+class TestGradientPlumbing:
+    def test_input_gradient_shape(self, attack_setup):
+        model, seeds, labels = attack_setup
+        grad = input_gradient(model, seeds, labels)
+        assert grad.shape == seeds.shape
+        assert np.abs(grad).sum() > 0
+
+    def test_gradient_ascent_increases_loss(self, attack_setup):
+        model, seeds, labels = attack_setup
+        grad = input_gradient(model, seeds, labels)
+        stepped = np.clip(seeds + 0.1 * np.sign(grad), 0, 1)
+        before = model.predict_proba(seeds)[np.arange(len(seeds)), labels]
+        after = model.predict_proba(stepped)[np.arange(len(seeds)), labels]
+        assert after.mean() < before.mean()
+
+    def test_jacobian_rows_match_loss_identity(self, attack_setup):
+        model, seeds, labels = attack_setup
+        jac = logits_jacobian(model, seeds[:3])
+        assert jac.shape == (3, 10, seeds[0].size)
+        # Sanity: the jacobian is non-trivial and differs across classes.
+        assert not np.allclose(jac[:, 0], jac[:, 1])
+
+    def test_next_class_targets_wraps(self):
+        np.testing.assert_array_equal(
+            next_class_targets(np.array([8, 9]), 10), [9, 0]
+        )
+
+    def test_least_likely_targets_are_least_probable(self, attack_setup):
+        model, seeds, _ = attack_setup
+        targets = least_likely_targets(model, seeds)
+        probs = model.predict_proba(seeds)
+        np.testing.assert_array_equal(targets, probs.argmin(axis=1))
+
+
+class TestAttackResult:
+    def test_sae_fae_partition(self):
+        result = AttackResult(
+            adversarial=np.zeros((4, 1, 2, 2)),
+            predictions=np.array([1, 0, 1, 0]),
+            true_labels=np.array([0, 0, 1, 1]),
+        )
+        assert result.success_rate == 0.5
+        assert len(result.sae_images) == 2
+        assert len(result.fae_images) == 2
+
+
+class TestFGSM:
+    def test_invalid_epsilon(self, attack_setup):
+        model, *_ = attack_setup
+        with pytest.raises(ValueError):
+            FGSM(model, epsilon=0.0)
+
+    def test_perturbation_bounded_and_effective(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = FGSM(model, epsilon=0.3).generate(seeds, labels)
+        assert np.abs(result.adversarial - seeds).max() <= 0.3 + 1e-9
+        assert result.adversarial.min() >= 0 and result.adversarial.max() <= 1
+        assert result.success_rate > 0.5
+
+
+class TestBIM:
+    def test_invalid_params(self, attack_setup):
+        model, *_ = attack_setup
+        with pytest.raises(ValueError):
+            BIM(model, epsilon=-1.0)
+        with pytest.raises(ValueError):
+            BIM(model, steps=0)
+
+    def test_stays_in_epsilon_ball(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = BIM(model, epsilon=0.2, alpha=0.05, steps=8).generate(seeds, labels)
+        assert np.abs(result.adversarial - seeds).max() <= 0.2 + 1e-9
+
+    def test_stronger_than_fgsm(self, attack_setup):
+        model, seeds, labels = attack_setup
+        fgsm = FGSM(model, epsilon=0.2).generate(seeds, labels)
+        bim = BIM(model, epsilon=0.2, alpha=0.04, steps=10).generate(seeds, labels)
+        assert bim.success_rate >= fgsm.success_rate
+
+
+class TestJSMA:
+    def test_invalid_gamma(self, attack_setup):
+        model, *_ = attack_setup
+        with pytest.raises(ValueError):
+            JSMA(model, gamma=0.0)
+
+    def test_l0_budget_respected(self, attack_setup):
+        model, seeds, labels = attack_setup
+        gamma = 0.08
+        result = JSMA(model, gamma=gamma).generate(seeds, labels)
+        changed = (result.adversarial != seeds).reshape(len(seeds), -1).sum(axis=1)
+        assert changed.max() <= int(gamma * seeds[0].size) + 2
+
+    def test_some_targeted_hits(self, attack_setup):
+        model, seeds, labels = attack_setup
+        targets = next_class_targets(labels)
+        result = JSMA(model).generate(seeds, labels, targets)
+        hits = (result.predictions == targets).mean()
+        assert hits > 0.3
+
+
+class TestCarlini:
+    def test_cw2_finds_small_perturbations(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = CarliniL2(model, steps=80, search_steps=2).generate(
+            seeds, labels, next_class_targets(labels)
+        )
+        assert result.success_rate > 0.7
+        delta = (result.adversarial - seeds).reshape(len(seeds), -1)
+        l2 = np.sqrt((delta**2).sum(axis=1))
+        # CW L2 perturbations should be far smaller than the image norm.
+        image_norm = np.sqrt((seeds.reshape(len(seeds), -1) ** 2).sum(axis=1))
+        assert (l2[result.success] < image_norm[result.success]).all()
+
+    def test_cw2_in_unit_box(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = CarliniL2(model, steps=40, search_steps=1).generate(seeds, labels)
+        assert result.adversarial.min() >= 0.0
+        assert result.adversarial.max() <= 1.0
+
+    def test_cwinf_succeeds(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = CarliniLinf(model, steps=50, outer_steps=2).generate(
+            seeds, labels, next_class_targets(labels)
+        )
+        assert result.success_rate > 0.6
+
+    def test_cw0_sparsifies(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = CarliniL0(model, steps=50, rounds=3).generate(
+            seeds, labels, next_class_targets(labels)
+        )
+        changed = (np.abs(result.adversarial - seeds) > 1e-6).reshape(len(seeds), -1)
+        if result.success.any():
+            fraction_changed = changed[result.success].mean()
+            assert fraction_changed < 0.8
+        assert result.success_rate > 0.4

@@ -1,0 +1,86 @@
+"""Tests for the extended attacks: PGD and DeepFool."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM, PGD, DeepFool
+
+
+@pytest.fixture(scope="module")
+def attack_setup(mnist_context):
+    model = mnist_context.model
+    dataset = mnist_context.dataset
+    predictions = model.predict(dataset.test_images)
+    correct = np.flatnonzero(predictions == dataset.test_labels)[:12]
+    return model, dataset.test_images[correct], dataset.test_labels[correct]
+
+
+class TestPGD:
+    def test_parameter_validation(self, attack_setup):
+        model, *_ = attack_setup
+        with pytest.raises(ValueError):
+            PGD(model, epsilon=0.0)
+        with pytest.raises(ValueError):
+            PGD(model, steps=0)
+        with pytest.raises(ValueError):
+            PGD(model, restarts=0)
+
+    def test_ball_constraint(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = PGD(model, epsilon=0.2, alpha=0.04, steps=10).generate(seeds, labels)
+        assert np.abs(result.adversarial - seeds).max() <= 0.2 + 1e-9
+        assert result.adversarial.min() >= 0.0
+        assert result.adversarial.max() <= 1.0
+
+    def test_at_least_as_strong_as_bim(self, attack_setup):
+        model, seeds, labels = attack_setup
+        bim = BIM(model, epsilon=0.25, alpha=0.05, steps=10).generate(seeds, labels)
+        pgd = PGD(model, epsilon=0.25, alpha=0.05, steps=10, restarts=2).generate(
+            seeds, labels
+        )
+        assert pgd.success_rate >= bim.success_rate - 0.1
+
+    def test_restarts_deterministic_with_seed(self, attack_setup):
+        model, seeds, labels = attack_setup
+        a = PGD(model, steps=5, restarts=2, rng=3).generate(seeds, labels)
+        b = PGD(model, steps=5, restarts=2, rng=3).generate(seeds, labels)
+        np.testing.assert_allclose(a.adversarial, b.adversarial)
+
+
+class TestDeepFool:
+    def test_parameter_validation(self, attack_setup):
+        model, *_ = attack_setup
+        with pytest.raises(ValueError):
+            DeepFool(model, max_steps=0)
+
+    def test_high_success_with_small_perturbation(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = DeepFool(model, max_steps=30).generate(seeds, labels)
+        assert result.success_rate > 0.7
+        delta = (result.adversarial - seeds).reshape(len(seeds), -1)
+        image = seeds.reshape(len(seeds), -1)
+        relative = np.linalg.norm(delta, axis=1) / np.linalg.norm(image, axis=1)
+        # DeepFool is a minimal-norm attack: perturbations stay small.
+        assert np.median(relative[result.success]) < 0.5
+
+    def test_smaller_than_fgsm_perturbation(self, attack_setup):
+        from repro.attacks import FGSM
+
+        model, seeds, labels = attack_setup
+        deepfool = DeepFool(model, max_steps=30).generate(seeds, labels)
+        fgsm = FGSM(model, epsilon=0.3).generate(seeds, labels)
+        both = deepfool.success & fgsm.success
+        if both.any():
+            df_norm = np.linalg.norm(
+                (deepfool.adversarial - seeds).reshape(len(seeds), -1), axis=1
+            )
+            fg_norm = np.linalg.norm(
+                (fgsm.adversarial - seeds).reshape(len(seeds), -1), axis=1
+            )
+            assert df_norm[both].mean() < fg_norm[both].mean()
+
+    def test_output_in_unit_box(self, attack_setup):
+        model, seeds, labels = attack_setup
+        result = DeepFool(model, max_steps=10).generate(seeds, labels)
+        assert result.adversarial.min() >= 0.0
+        assert result.adversarial.max() <= 1.0

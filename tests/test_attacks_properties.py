@@ -1,0 +1,56 @@
+"""Property-based tests for attack invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import BIM, FGSM
+
+
+@pytest.fixture(scope="module")
+def setup(mnist_context):
+    model = mnist_context.model
+    dataset = mnist_context.dataset
+    predictions = model.predict(dataset.test_images)
+    correct = np.flatnonzero(predictions == dataset.test_labels)[:6]
+    return model, dataset.test_images[correct], dataset.test_labels[correct]
+
+
+class TestAttackInvariants:
+    @given(epsilon=st.floats(0.02, 0.5))
+    @settings(max_examples=8, deadline=None)
+    def test_fgsm_linf_bound_holds_for_any_epsilon(self, setup, epsilon):
+        model, seeds, labels = setup
+        result = FGSM(model, epsilon=epsilon).generate(seeds, labels)
+        assert np.abs(result.adversarial - seeds).max() <= epsilon + 1e-9
+        assert result.adversarial.min() >= 0.0
+        assert result.adversarial.max() <= 1.0
+
+    @given(epsilon=st.floats(0.05, 0.4), steps=st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_bim_ball_and_box_for_any_config(self, setup, epsilon, steps):
+        model, seeds, labels = setup
+        result = BIM(model, epsilon=epsilon, alpha=epsilon / 2, steps=steps).generate(
+            seeds, labels
+        )
+        assert np.abs(result.adversarial - seeds).max() <= epsilon + 1e-9
+        assert result.adversarial.min() >= 0.0
+        assert result.adversarial.max() <= 1.0
+
+    @given(epsilon=st.floats(0.1, 0.5))
+    @settings(max_examples=6, deadline=None)
+    def test_fgsm_success_monotone_tendency(self, setup, epsilon):
+        """Stronger epsilon never loses to a much weaker one by a wide margin."""
+        model, seeds, labels = setup
+        weak = FGSM(model, epsilon=epsilon / 4).generate(seeds, labels)
+        strong = FGSM(model, epsilon=epsilon).generate(seeds, labels)
+        assert strong.success_rate >= weak.success_rate - 0.35
+
+    @given(epsilon=st.floats(0.05, 0.4))
+    @settings(max_examples=6, deadline=None)
+    def test_attack_preserves_input(self, setup, epsilon):
+        model, seeds, labels = setup
+        copy = seeds.copy()
+        FGSM(model, epsilon=epsilon).generate(seeds, labels)
+        np.testing.assert_array_equal(seeds, copy)

@@ -1,0 +1,114 @@
+"""Property-based tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, gradcheck, relu, softmax
+from repro.autograd.im2col import col2im, im2col
+
+
+def arrays(draw, shape):
+    values = draw(
+        st.lists(
+            st.floats(-3.0, 3.0, allow_nan=False),
+            min_size=int(np.prod(shape)),
+            max_size=int(np.prod(shape)),
+        )
+    )
+    return np.array(values).reshape(shape)
+
+
+@st.composite
+def small_matrix(draw):
+    rows = draw(st.integers(1, 4))
+    cols = draw(st.integers(1, 4))
+    return arrays(draw, (rows, cols))
+
+
+class TestAlgebraicProperties:
+    @given(small_matrix(), small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_addition_commutes(self, a, b):
+        if a.shape != b.shape:
+            b = np.zeros_like(a)
+        lhs = (Tensor(a) + Tensor(b)).data
+        rhs = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(lhs, rhs)
+
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_double_negation(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent(self, a):
+        once = relu(Tensor(a)).data
+        twice = relu(relu(Tensor(a))).data
+        np.testing.assert_allclose(once, twice)
+
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_rows_are_distributions(self, a):
+        out = softmax(Tensor(a)).data
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(a.shape[0]), atol=1e-9)
+
+    @given(small_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_shift_invariance(self, a):
+        base = softmax(Tensor(a)).data
+        shifted = softmax(Tensor(a + 7.5)).data
+        np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+
+class TestGradientProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_elementwise_chains_gradcheck(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+
+        def fn(t):
+            return (relu(t) * 2.0 + t**2 - t / 3.0).sum(axis=1)
+
+        assert gradcheck(fn, [x])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_matmul_gradcheck_random(self, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        assert gradcheck(lambda a, b: a @ b, [a, b])
+
+
+class TestIm2colProperties:
+    @given(
+        st.integers(1, 3),  # batch
+        st.integers(1, 3),  # channels
+        st.integers(2, 3),  # kernel
+        st.integers(1, 2),  # stride
+        st.integers(0, 1),  # pad
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adjointness_random_configs(self, batch, channels, kernel, stride, pad, seed):
+        rng = np.random.default_rng(seed)
+        size = kernel + stride + 2  # always a valid output extent
+        shape = (batch, channels, size, size)
+        x = rng.normal(size=shape)
+        cols = im2col(x, kernel, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, shape, kernel, stride, pad)).sum())
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_im2col_preserves_total_energy_nonoverlapping(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, 2, 4, 4))
+        cols = im2col(x, kernel=2, stride=2)
+        np.testing.assert_allclose((cols**2).sum(), (x**2).sum(), rtol=1e-9)

@@ -1,0 +1,210 @@
+"""Unit tests for the autograd Tensor type."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, no_grad
+
+
+class TestConstruction:
+    def test_wraps_array(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float64
+
+    def test_float32_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.dtype == np.float32
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert Tensor.as_tensor(t) is t
+
+    def test_as_tensor_wraps_scalars(self):
+        t = Tensor.as_tensor(2.5)
+        assert t.item() == 2.5
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 3)))
+        assert len(t) == 4
+        assert t.size == 12
+        assert t.ndim == 2
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_radd_scalar(self):
+        out = 1.0 + Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - 1.0).data, [2.0])
+        np.testing.assert_allclose((5.0 - Tensor([3.0])).data, [2.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([2.0]) * 3.0).data, [6.0])
+        np.testing.assert_allclose((Tensor([6.0]) / 3.0).data, [2.0])
+        np.testing.assert_allclose((6.0 / Tensor([3.0])).data, [2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0]) ** 3).data, [8.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([3.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 3, 4))) @ Tensor(np.zeros((4, 2)))
+
+    def test_abs(self):
+        np.testing.assert_allclose(Tensor([-2.0, 3.0]).abs().data, [2.0, 3.0])
+
+    def test_clip(self):
+        np.testing.assert_allclose(
+            Tensor([-1.0, 0.5, 2.0]).clip(0.0, 1.0).data, [0.0, 0.5, 1.0]
+        )
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + 3.0 * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])  # 2x + 3
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        (x * 2.0).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_on_non_scalar_needs_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_diamond_graph_counts_both_paths(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = x * 2.0
+        z = y + y  # two paths through y
+        z.backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_broadcast_gradient_reduces(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (x + b).sum().backward()
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_scalar_broadcast_gradient(self):
+        s = Tensor(2.0, requires_grad=True)
+        x = Tensor(np.ones((4,)))
+        (x * s).sum().backward()
+        np.testing.assert_allclose(s.grad, 4.0)
+
+    def test_detach_cuts_tape(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        # Tape recording resumes outside the context.
+        z = x * 2.0
+        assert z.requires_grad
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        assert gradcheck(lambda t: t.reshape(3, 2), [x])
+
+    def test_reshape_accepts_tuple(self):
+        x = Tensor(np.zeros((2, 3)))
+        assert x.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_default_reverses(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.transpose().shape == (4, 3, 2)
+        assert x.T.shape == (4, 3, 2)
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4)), requires_grad=True)
+        assert gradcheck(lambda t: t.transpose(1, 0, 2), [x])
+
+    def test_getitem_gradient(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5)), requires_grad=True)
+        assert gradcheck(lambda t: t[1:3, 2:4], [x])
+
+    def test_getitem_fancy_index_gradient_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        picked = x[np.array([0, 0, 1])]
+        picked.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.ones((2, 3)))
+        assert x.sum(axis=0).shape == (3,)
+        assert x.sum(axis=0, keepdims=True).shape == (1, 3)
+        assert x.sum().shape == ()
+
+    def test_sum_gradient(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        assert gradcheck(lambda t: t.sum(axis=1), [x])
+        assert gradcheck(lambda t: t.sum(axis=(0, 1)), [x])
+
+    def test_mean_matches_sum_over_count(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(x.mean(axis=0).data, [1.5, 2.5, 3.5])
+
+    def test_mean_gradient(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        assert gradcheck(lambda t: t.mean(axis=0), [x])
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor([[1.0, 1.0]], requires_grad=True)
+        x.max(axis=1).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+    def test_max_values(self):
+        x = Tensor([[1.0, 5.0], [3.0, 2.0]])
+        np.testing.assert_allclose(x.max(axis=1).data, [5.0, 3.0])

@@ -1,0 +1,146 @@
+"""Tests for discrepancy calibration (Platt, isotonic, ECE)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    IsotonicCalibrator,
+    PlattCalibrator,
+    expected_calibration_error,
+    pool_adjacent_violators,
+)
+
+
+def separable_scores(seed=0, n=400):
+    rng = np.random.default_rng(seed)
+    clean = rng.normal(-1.0, 0.5, size=n)
+    corner = rng.normal(1.0, 0.5, size=n)
+    scores = np.concatenate([clean, corner])
+    labels = np.concatenate([np.zeros(n), np.ones(n)])
+    return scores, labels
+
+
+class TestPlatt:
+    def test_fit_produces_monotone_probabilities(self):
+        scores, labels = separable_scores()
+        calibrator = PlattCalibrator().fit(scores, labels)
+        grid = np.linspace(-3, 3, 50)
+        probs = calibrator.predict_proba(grid)
+        assert np.all(np.diff(probs) >= 0)
+        assert probs[0] < 0.1
+        assert probs[-1] > 0.9
+
+    def test_midpoint_near_half(self):
+        scores, labels = separable_scores()
+        calibrator = PlattCalibrator().fit(scores, labels)
+        assert calibrator.predict_proba(np.array([0.0]))[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattCalibrator().predict_proba(np.zeros(3))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit(np.zeros(4), np.zeros(4))  # one class
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit(np.zeros(4), np.array([0, 1, 0]))
+
+    def test_reduces_calibration_error_on_overlapping_classes(self):
+        # Overlapping classes: a hard 0/1 mapping is badly calibrated
+        # (confidently wrong in the overlap); Platt recovers soft scores.
+        rng = np.random.default_rng(1)
+        n = 600
+        scores = np.concatenate([rng.normal(-0.5, 1.0, n), rng.normal(0.5, 1.0, n)])
+        labels = np.concatenate([np.zeros(n), np.ones(n)])
+        raw = 1.0 / (1.0 + np.exp(-50 * scores))
+        calibrated = PlattCalibrator().fit(scores, labels).predict_proba(scores)
+        assert expected_calibration_error(calibrated, labels) < (
+            expected_calibration_error(raw, labels)
+        )
+
+
+class TestPAV:
+    def test_already_monotone_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(pool_adjacent_violators(values), values)
+
+    def test_single_violation_pooled(self):
+        values = np.array([1.0, 3.0, 2.0])
+        np.testing.assert_allclose(pool_adjacent_violators(values), [1.0, 2.5, 2.5])
+
+    def test_output_monotone_for_random_input(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=50)
+        out = pool_adjacent_violators(values)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_preserves_weighted_mean(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=30)
+        out = pool_adjacent_violators(values)
+        assert out.mean() == pytest.approx(values.mean())
+
+    def test_weights_shape_check(self):
+        with pytest.raises(ValueError):
+            pool_adjacent_violators(np.zeros(3), np.zeros(2))
+
+
+class TestIsotonic:
+    def test_monotone_step_function(self):
+        scores, labels = separable_scores(seed=4)
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        grid = np.linspace(scores.min(), scores.max(), 100)
+        probs = calibrator.predict_proba(grid)
+        assert np.all(np.diff(probs) >= -1e-12)
+        assert probs[0] <= 0.2
+        assert probs[-1] >= 0.8
+
+    def test_probabilities_in_unit_interval(self):
+        scores, labels = separable_scores(seed=5)
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        probs = calibrator.predict_proba(scores)
+        assert probs.min() >= 0.0
+        assert probs.max() <= 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            IsotonicCalibrator().predict_proba(np.zeros(2))
+
+    def test_extrapolation_clamps(self):
+        scores, labels = separable_scores(seed=6)
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        far = calibrator.predict_proba(np.array([-100.0, 100.0]))
+        assert far[0] <= 0.2
+        assert far[1] >= 0.8
+
+
+class TestECE:
+    def test_perfectly_calibrated_near_zero(self):
+        rng = np.random.default_rng(7)
+        probs = rng.random(20000)
+        labels = (rng.random(20000) < probs).astype(float)
+        assert expected_calibration_error(probs, labels) < 0.02
+
+    def test_constant_wrong_probability(self):
+        probs = np.full(100, 0.9)
+        labels = np.zeros(100)
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.zeros(3), np.zeros(4))
+
+
+class TestIntegration:
+    def test_calibrated_validator_probabilities(self, mnist_context):
+        validator = mnist_context.validator
+        scc, _ = mnist_context.suite.all_scc_images()
+        clean_scores = validator.joint_discrepancy(mnist_context.clean_images[:150])
+        corner_scores = validator.joint_discrepancy(scc[:150])
+        scores = np.concatenate([clean_scores, corner_scores])
+        labels = np.concatenate([np.zeros(150), np.ones(150)])
+        calibrator = PlattCalibrator().fit(scores, labels)
+        clean_p = calibrator.predict_proba(clean_scores)
+        corner_p = calibrator.predict_proba(corner_scores)
+        assert np.median(clean_p) < 0.2
+        assert np.median(corner_p) > 0.8

@@ -1,0 +1,96 @@
+"""Tests for the discrepancy drift monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiscrepancyDriftMonitor
+
+
+def make_calibrated(seed=0, alpha=0.2, sigmas=4.0, warmup=5):
+    rng = np.random.default_rng(seed)
+    monitor = DiscrepancyDriftMonitor(alpha=alpha, sigmas=sigmas, warmup=warmup)
+    monitor.calibrate(rng.normal(-1.0, 0.3, size=500))
+    return monitor, rng
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DiscrepancyDriftMonitor(alpha=0.0)
+        with pytest.raises(ValueError):
+            DiscrepancyDriftMonitor(alpha=1.5)
+        with pytest.raises(ValueError):
+            DiscrepancyDriftMonitor(sigmas=0.0)
+        with pytest.raises(ValueError):
+            DiscrepancyDriftMonitor(warmup=0)
+
+    def test_uncalibrated_raises(self):
+        monitor = DiscrepancyDriftMonitor()
+        with pytest.raises(RuntimeError):
+            monitor.observe(0.0)
+        with pytest.raises(RuntimeError):
+            monitor.threshold
+        with pytest.raises(RuntimeError):
+            monitor.reset_stream()
+
+    def test_calibration_needs_two_scores(self):
+        with pytest.raises(ValueError):
+            DiscrepancyDriftMonitor().calibrate(np.array([1.0]))
+
+
+class TestStreaming:
+    def test_clean_stream_rarely_alarms(self):
+        monitor, rng = make_calibrated()
+        states = monitor.observe_batch(rng.normal(-1.0, 0.3, size=400))
+        alarm_fraction = np.mean([s.alarming for s in states])
+        assert alarm_fraction < 0.02
+
+    def test_shifted_stream_alarms(self):
+        monitor, rng = make_calibrated()
+        monitor.observe_batch(rng.normal(-1.0, 0.3, size=50))
+        states = monitor.observe_batch(rng.normal(1.5, 0.3, size=60))
+        assert any(s.alarming for s in states)
+        # Once the shift persists, the alarm stays on.
+        assert states[-1].alarming
+
+    def test_warmup_suppresses_early_alarms(self):
+        monitor, _ = make_calibrated(warmup=20)
+        states = monitor.observe_batch(np.full(10, 100.0))
+        assert not any(s.alarming for s in states)
+        more = monitor.observe_batch(np.full(15, 100.0))
+        assert more[-1].alarming
+
+    def test_reset_stream_keeps_calibration(self):
+        monitor, rng = make_calibrated()
+        monitor.observe_batch(np.full(50, 10.0))
+        threshold = monitor.threshold
+        monitor.reset_stream()
+        assert monitor.threshold == threshold
+        state = monitor.observe(-1.0)
+        assert not state.alarming
+
+    def test_level_tracks_ewma(self):
+        monitor, _ = make_calibrated(alpha=0.5)
+        start = monitor.observe(0.0).level
+        second = monitor.observe(0.0).level
+        # EWMA moves halfway toward the observation each step.
+        assert abs(second) < abs(start) or second == pytest.approx(start / 2, abs=0.3)
+
+
+class TestIntegration:
+    def test_detects_environment_shift(self, mnist_context):
+        from repro.transforms import Rotation
+
+        validator = mnist_context.validator
+        clean_scores = validator.joint_discrepancy(mnist_context.clean_images)
+        monitor = DiscrepancyDriftMonitor(alpha=0.2, sigmas=4.0, warmup=5)
+        monitor.calibrate(clean_scores)
+
+        # Healthy traffic: no alarm.
+        healthy = monitor.observe_batch(clean_scores[:100])
+        assert not any(s.alarming for s in healthy)
+
+        # The camera mount slips: rotated traffic drives the level up.
+        rotated = Rotation(40.0)(mnist_context.suite.seeds[:60])
+        shifted = monitor.observe_batch(validator.joint_discrepancy(rotated))
+        assert shifted[-1].alarming

@@ -1,0 +1,74 @@
+"""Tests for the runtime monitoring façade."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_validator(trained_tiny_model):
+    model, train_x, train_y, test_x, _ = trained_tiny_model
+    validator = DeepValidator(model, ValidatorConfig(nu=0.15))
+    validator.fit(train_x, train_y)
+    noise = np.random.default_rng(0).random((40, 1, 12, 12))
+    validator.calibrate_threshold(test_x[:40], noise)
+    return validator
+
+
+# Re-declare the session fixture at module scope for the one above.
+@pytest.fixture(scope="module")
+def trained_tiny_model():
+    from tests.helpers import train_tiny_model
+
+    return train_tiny_model()
+
+
+class TestRuntimeMonitor:
+    def test_accepts_clean_rejects_noise(self, fitted_validator, trained_tiny_model):
+        _, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(fitted_validator)
+        clean_verdicts = monitor.classify(test_x[:20])
+        assert sum(v.accepted for v in clean_verdicts) >= 15
+        noise = np.random.default_rng(1).random((20, 1, 12, 12))
+        noise_verdicts = monitor.classify(noise)
+        assert sum(not v.accepted for v in noise_verdicts) >= 15
+
+    def test_single_image_accepted_shape(self, fitted_validator, trained_tiny_model):
+        _, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(fitted_validator)
+        verdicts = monitor.classify(test_x[0])
+        assert len(verdicts) == 1
+        assert verdicts[0].per_layer.shape == (3,)
+
+    def test_on_reject_callback_invoked(self, fitted_validator):
+        rejected = []
+        monitor = RuntimeMonitor(fitted_validator, on_reject=rejected.append)
+        noise = np.random.default_rng(2).random((10, 1, 12, 12))
+        monitor.classify(noise)
+        assert len(rejected) == monitor.stats["rejected"]
+        assert rejected, "noise should trigger at least one rejection"
+
+    def test_stats_and_rejection_rate(self, fitted_validator, trained_tiny_model):
+        _, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(fitted_validator)
+        with pytest.raises(ValueError):
+            monitor.rejection_rate
+        monitor.classify(test_x[:10])
+        total = monitor.stats["accepted"] + monitor.stats["rejected"]
+        assert total == 10
+        assert 0.0 <= monitor.rejection_rate <= 1.0
+
+    def test_verdict_repr(self, fitted_validator, trained_tiny_model):
+        _, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(fitted_validator)
+        verdict = monitor.classify(test_x[:1])[0]
+        assert "prediction=" in repr(verdict)
+
+    def test_predictions_match_model(self, fitted_validator, trained_tiny_model):
+        model, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(fitted_validator)
+        verdicts = monitor.classify(test_x[:10])
+        np.testing.assert_array_equal(
+            [v.prediction for v in verdicts], model.predict(test_x[:10])
+        )

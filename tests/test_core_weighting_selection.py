@@ -1,0 +1,140 @@
+"""Tests for learned layer weighting and validator subset selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SelectionStep,
+    fit_auc_greedy_weights,
+    fit_logistic_weights,
+    greedy_layer_selection,
+    smallest_subset_reaching,
+    weighted_auc,
+)
+
+
+def synthetic_discrepancies(seed=0, n=200, informative=(0, 2), layers=4):
+    """Clean/corner matrices where only some layers carry signal."""
+    rng = np.random.default_rng(seed)
+    clean = rng.normal(-0.5, 0.4, size=(n, layers))
+    corner = rng.normal(-0.5, 0.4, size=(n, layers))
+    for layer in informative:
+        corner[:, layer] += 2.0
+    return clean, corner
+
+
+class TestLogisticWeights:
+    def test_upweights_informative_layers(self):
+        clean, corner = synthetic_discrepancies()
+        weights = fit_logistic_weights(clean, corner)
+        assert weights.shape == (4,)
+        assert np.all(weights >= 0)
+        informative = weights[[0, 2]].mean()
+        noise = weights[[1, 3]].mean()
+        assert informative > noise
+
+    def test_weighted_beats_uniform_on_noisy_layers(self):
+        clean, corner = synthetic_discrepancies(seed=1)
+        weights = fit_logistic_weights(clean, corner)
+        uniform = weighted_auc(clean, corner, np.ones(4))
+        learned = weighted_auc(clean, corner, weights)
+        assert learned >= uniform - 1e-9
+
+    def test_normalised_magnitude(self):
+        clean, corner = synthetic_discrepancies(seed=2)
+        weights = fit_logistic_weights(clean, corner)
+        assert weights.sum() == pytest.approx(4.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            fit_logistic_weights(np.zeros((3, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            fit_logistic_weights(np.zeros((0, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            fit_logistic_weights(np.zeros(3), np.zeros(3))
+
+    def test_all_useless_layers_fall_back_to_uniform(self):
+        rng = np.random.default_rng(3)
+        clean = rng.normal(size=(100, 3))
+        corner = rng.normal(size=(100, 3)) - 5.0  # inverted signal everywhere
+        weights = fit_logistic_weights(clean, corner)
+        np.testing.assert_allclose(weights, 1.0)
+
+
+class TestGreedyWeights:
+    def test_never_worse_than_uniform(self):
+        clean, corner = synthetic_discrepancies(seed=4)
+        weights = fit_auc_greedy_weights(clean, corner)
+        uniform = weighted_auc(clean, corner, np.ones(4))
+        assert weighted_auc(clean, corner, weights) >= uniform - 1e-12
+
+    def test_zeros_out_pure_noise_layers_when_helpful(self):
+        clean, corner = synthetic_discrepancies(seed=5, informative=(1,), layers=3)
+        # Make a layer actively harmful: corner lower than clean.
+        corner[:, 2] -= 2.0
+        weights = fit_auc_greedy_weights(clean, corner)
+        assert weights[2] < weights[1]
+
+
+class TestWeightedAuc:
+    def test_shape_validation(self):
+        clean, corner = synthetic_discrepancies()
+        with pytest.raises(ValueError):
+            weighted_auc(clean, corner, np.ones(3))
+
+    def test_perfect_layer_gives_auc_one(self):
+        clean = np.zeros((50, 2))
+        corner = np.zeros((50, 2))
+        corner[:, 0] = 10.0
+        assert weighted_auc(clean, corner, np.array([1.0, 0.0])) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestGreedySelection:
+    def test_curve_monotone_layers(self):
+        clean, corner = synthetic_discrepancies(seed=6)
+        curve = greedy_layer_selection(clean, corner)
+        assert [len(step.layers) for step in curve] == [1, 2, 3, 4]
+        # Greedy picks an informative layer first.
+        assert curve[0].layers[0] in (0, 2)
+
+    def test_max_layers_budget(self):
+        clean, corner = synthetic_discrepancies(seed=7)
+        curve = greedy_layer_selection(clean, corner, max_layers=2)
+        assert len(curve) == 2
+
+    def test_first_step_is_best_single(self):
+        clean, corner = synthetic_discrepancies(seed=8)
+        curve = greedy_layer_selection(clean, corner, max_layers=1)
+        from repro.metrics import roc_auc_score
+
+        labels = np.concatenate([np.zeros(len(clean)), np.ones(len(corner))])
+        singles = [
+            roc_auc_score(labels, np.concatenate([clean[:, i], corner[:, i]]))
+            for i in range(4)
+        ]
+        assert curve[0].auc == pytest.approx(max(singles))
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            greedy_layer_selection(np.zeros((2, 3)), np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            greedy_layer_selection(np.zeros((2, 0)), np.zeros((2, 0)))
+
+    def test_smallest_subset_reaching(self):
+        steps = [
+            SelectionStep([1], 0.8),
+            SelectionStep([1, 3], 0.95),
+            SelectionStep([1, 3, 0], 0.97),
+        ]
+        assert smallest_subset_reaching(steps, 0.9).layers == [1, 3]
+        assert smallest_subset_reaching(steps, 0.99) is None
+
+    def test_integration_with_real_validator(self, mnist_context):
+        scc, _ = mnist_context.suite.all_scc_images()
+        _, clean = mnist_context.validator.discrepancies(mnist_context.clean_images[:150])
+        _, corner = mnist_context.validator.discrepancies(scc[:150])
+        curve = greedy_layer_selection(clean, corner)
+        # Detection with few validated layers is already strong, and the
+        # full curve ends close to its peak.
+        assert curve[0].auc > 0.9
+        assert curve[-1].auc > 0.95

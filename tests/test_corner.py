@@ -1,0 +1,170 @@
+"""Tests for corner-case search spaces, grid search, and suites."""
+
+import numpy as np
+import pytest
+
+from repro.corner import (
+    SEARCH_SPACES,
+    SearchOutcome,
+    grid_search,
+    spaces_for_dataset,
+)
+from repro.corner.search import evaluate_config
+from repro.corner.search_space import TRANSFORMATION_ORDER, _strength_ordered_grid
+from repro.transforms import Brightness, Rotation
+
+
+class TestSearchSpaces:
+    def test_all_families_present(self):
+        assert set(SEARCH_SPACES) == set(TRANSFORMATION_ORDER)
+
+    def test_rotation_range_matches_table4(self):
+        thetas = [c.theta for c in SEARCH_SPACES["rotation"].configs]
+        assert thetas[0] == 1.0
+        assert thetas[-1] == 70.0
+        assert len(thetas) == 70
+
+    def test_shear_grid_bounds(self):
+        configs = SEARCH_SPACES["shear"].configs
+        values = [(c.sh, c.sv) for c in configs]
+        assert max(v[0] for v in values) == pytest.approx(0.5)
+        assert (0.0, 0.0) not in values  # identity skipped
+
+    def test_scale_shrinks_toward_0_4(self):
+        configs = SEARCH_SPACES["scale"].configs
+        assert min(c.sx for c in configs) == pytest.approx(0.4)
+        assert all(c.sx <= 1.0 for c in configs)
+
+    def test_translation_grid_extent(self):
+        configs = SEARCH_SPACES["translation"].configs
+        assert max(c.tx for c in configs) == 18.0
+
+    def test_complement_single_config_greyscale_only(self):
+        space = SEARCH_SPACES["complement"]
+        assert len(space) == 1
+        assert space.greyscale_only
+
+    def test_strength_ordering_rings(self):
+        points = _strength_ordered_grid([0, 1, 2], [0, 1, 2])
+        # First entries are level-1 ring, last is the (2, 2) corner.
+        assert points[0] in [(0, 1), (1, 0)]
+        assert points[-1] == (2, 2)
+        assert len(points) == 8
+
+    def test_spaces_for_greyscale_includes_complement(self):
+        names = [s.name for s in spaces_for_dataset(channels=1)]
+        assert "complement" in names
+
+    def test_spaces_for_colour_excludes_complement(self):
+        names = [s.name for s in spaces_for_dataset(channels=3)]
+        assert "complement" not in names
+        assert len(names) == 6
+
+
+class FragileModel:
+    """Stub classifier that fails once brightness pushes pixels past 0.5."""
+
+    def predict_proba(self, images, batch_size=256):
+        fooled = images.mean(axis=(1, 2, 3)) > 0.5
+        probs = np.zeros((len(images), 10))
+        probs[np.arange(len(images)), np.where(fooled, 1, 0)] = 0.9
+        probs[:, 2] = 0.1
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, images, batch_size=256):
+        return self.predict_proba(images).argmax(axis=1)
+
+
+class TestGridSearch:
+    def setup_method(self):
+        self.model = FragileModel()
+        self.seeds = np.full((50, 1, 8, 8), 0.2)
+        self.labels = np.zeros(50, dtype=np.int64)
+
+    def test_evaluate_config(self):
+        success, confidence, transformed = evaluate_config(
+            self.model, Brightness(0.5), self.seeds, self.labels
+        )
+        assert success == 1.0
+        assert transformed.shape == self.seeds.shape
+        assert 0.0 < confidence <= 1.0
+
+    def test_stops_at_target_success(self):
+        outcome = grid_search(
+            self.model, SEARCH_SPACES["brightness"], self.seeds, self.labels
+        )
+        assert outcome.viable
+        assert outcome.success_rate >= 0.6
+        # Smallest brightness pushing mean 0.2 past 0.5 is ~0.3; the search
+        # must stop near there rather than at maximum strength.
+        assert outcome.config.beta < 0.45
+
+    def test_history_records_scan(self):
+        outcome = grid_search(
+            self.model, SEARCH_SPACES["brightness"], self.seeds, self.labels
+        )
+        assert len(outcome.history) >= 1
+        assert all(isinstance(h[0], str) for h in outcome.history)
+
+    def test_non_viable_transformation(self):
+        outcome = grid_search(
+            self.model, SEARCH_SPACES["rotation"], self.seeds, self.labels
+        )
+        # Rotation never changes the mean brightness of a uniform image
+        # enough; the fragile model is never fooled.
+        assert not outcome.viable
+        assert outcome.config is None
+
+    def test_describe_strings(self):
+        viable = SearchOutcome("rotation", Rotation(30.0), 0.7, 0.9, True)
+        assert "rotation" in viable.describe()
+        failed = SearchOutcome("rotation", None, 0.1, 0.9, False)
+        assert "not viable" in failed.describe()
+
+    def test_max_configs_subsampling(self):
+        outcome = grid_search(
+            self.model,
+            SEARCH_SPACES["translation"],
+            self.seeds,
+            self.labels,
+            max_configs=10,
+        )
+        assert len(outcome.history) <= 10
+
+
+class TestSuiteIntegration:
+    def test_mnist_suite_structure(self, mnist_context):
+        suite = mnist_context.suite
+        assert suite.dataset_name == "synth-mnist"
+        assert len(suite.viable_transformations) >= 4
+        assert "combined" in suite.viable_transformations
+
+    def test_scc_fcc_partition(self, mnist_context):
+        for name in mnist_context.suite.viable_transformations:
+            result = mnist_context.suite.result(name)
+            assert len(result.scc_images) + len(result.fcc_images) == len(result.images)
+            assert result.success_rate == pytest.approx(result.scc_mask.mean())
+
+    def test_scc_actually_fool_model(self, mnist_context):
+        result = mnist_context.suite.result("rotation")
+        predictions = mnist_context.model.predict(result.scc_images)
+        truth = result.seed_labels[result.scc_mask]
+        assert np.all(predictions != truth)
+
+    def test_viable_success_rates_above_threshold(self, mnist_context):
+        for outcome in mnist_context.suite.outcomes:
+            if outcome.viable:
+                assert outcome.success_rate > 0.3
+
+    def test_all_scc_images_tags_align(self, mnist_context):
+        images, tags = mnist_context.suite.all_scc_images()
+        assert len(images) == len(tags)
+        assert set(tags) <= set(mnist_context.suite.viable_transformations)
+
+    def test_unknown_transformation_raises(self, mnist_context):
+        with pytest.raises(KeyError):
+            mnist_context.suite.result("warp-drive")
+
+    def test_combined_composes_two_transforms(self, mnist_context):
+        combined = mnist_context.suite.result("combined")
+        assert "->" in combined.config.describe()

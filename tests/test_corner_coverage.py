@@ -1,0 +1,70 @@
+"""Tests for the neuron-coverage metric."""
+
+import numpy as np
+import pytest
+
+from repro.corner.coverage import NeuronCoverage, coverage_gain
+
+
+class TestNeuronCoverage:
+    def test_threshold_validation(self, mnist_context):
+        with pytest.raises(ValueError):
+            NeuronCoverage(mnist_context.model, threshold=1.0)
+        with pytest.raises(ValueError):
+            NeuronCoverage(mnist_context.model, threshold=-0.1)
+
+    def test_report_requires_observations(self, mnist_context):
+        with pytest.raises(RuntimeError):
+            NeuronCoverage(mnist_context.model).report()
+
+    def test_coverage_between_zero_and_one(self, mnist_context):
+        tracker = NeuronCoverage(mnist_context.model, threshold=0.5)
+        tracker.update(mnist_context.clean_images[:50])
+        report = tracker.report()
+        assert 0.0 < report.coverage <= 1.0
+        assert report.total_neurons == sum(report.neurons_per_layer)
+
+    def test_coverage_monotone_in_inputs(self, mnist_context):
+        tracker = NeuronCoverage(mnist_context.model, threshold=0.5)
+        tracker.update(mnist_context.clean_images[:20])
+        first = tracker.report().total_covered
+        tracker.update(mnist_context.clean_images[20:60])
+        second = tracker.report().total_covered
+        assert second >= first
+
+    def test_higher_threshold_lower_coverage(self, mnist_context):
+        low = NeuronCoverage(mnist_context.model, threshold=0.25)
+        high = NeuronCoverage(mnist_context.model, threshold=0.9)
+        images = mnist_context.clean_images[:40]
+        low.update(images)
+        high.update(images)
+        assert high.report().coverage <= low.report().coverage
+
+    def test_reset(self, mnist_context):
+        tracker = NeuronCoverage(mnist_context.model)
+        tracker.update(mnist_context.clean_images[:10])
+        tracker.reset()
+        with pytest.raises(RuntimeError):
+            tracker.report()
+
+    def test_layer_coverage_keys(self, mnist_context):
+        tracker = NeuronCoverage(mnist_context.model)
+        tracker.update(mnist_context.clean_images[:10])
+        per_layer = tracker.report().layer_coverage()
+        assert set(per_layer) == set(mnist_context.model.probe_names)
+
+
+class TestCoverageGain:
+    def test_corner_cases_add_coverage(self, mnist_context):
+        """The DeepXplore observation: corner cases reach neurons clean
+        data never activates."""
+        scc, _ = mnist_context.suite.all_scc_images()
+        base, combined = coverage_gain(
+            mnist_context.model,
+            mnist_context.clean_images[:150],
+            scc[:150],
+            threshold=0.75,
+        )
+        assert combined.total_covered >= base.total_covered
+        # With a high threshold there is genuine headroom for gain.
+        assert combined.total_covered > base.total_covered

@@ -1,0 +1,132 @@
+"""Tests for the generalised distortion-sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro.corner.sweep import (
+    DistortionSweep,
+    SweepLevel,
+    early_warning_correlation,
+    run_distortion_sweep,
+)
+from repro.transforms import Rotation, Scale
+
+
+class TestRunDistortionSweep:
+    def test_length_mismatch_rejected(self, mnist_context):
+        with pytest.raises(ValueError):
+            run_distortion_sweep(
+                mnist_context.model,
+                mnist_context.validator.joint_discrepancy,
+                [Rotation(10.0)],
+                mnist_context.suite.seeds[:5],
+                mnist_context.suite.seed_labels[:4],
+                clean_scores=np.zeros(10),
+            )
+
+    def test_levels_match_configs(self, mnist_context):
+        configs = [Rotation(10.0), Rotation(30.0), Rotation(50.0)]
+        sweep = run_distortion_sweep(
+            mnist_context.model,
+            mnist_context.validator.joint_discrepancy,
+            configs,
+            mnist_context.suite.seeds[:60],
+            mnist_context.suite.seed_labels[:60],
+            clean_scores=mnist_context.validator.joint_discrepancy(
+                mnist_context.clean_images[:150]
+            ),
+            fpr=0.059,
+            detector_name="dv",
+        )
+        assert len(sweep.levels) == 3
+        assert sweep.detector_name == "dv"
+        for level, config in zip(sweep.levels, configs):
+            assert level.config is config
+            assert level.scc_count + level.fcc_count == 60
+
+    def test_success_grows_with_rotation(self, mnist_context):
+        sweep = run_distortion_sweep(
+            mnist_context.model,
+            mnist_context.validator.joint_discrepancy,
+            [Rotation(5.0), Rotation(55.0)],
+            mnist_context.suite.seeds[:60],
+            mnist_context.suite.seed_labels[:60],
+            clean_scores=mnist_context.validator.joint_discrepancy(
+                mnist_context.clean_images[:150]
+            ),
+        )
+        rates = sweep.success_rates()
+        assert rates[1] > rates[0]
+
+    def test_threshold_respects_fpr(self, mnist_context):
+        clean_scores = mnist_context.validator.joint_discrepancy(
+            mnist_context.clean_images[:200]
+        )
+        sweep = run_distortion_sweep(
+            mnist_context.model,
+            mnist_context.validator.joint_discrepancy,
+            [Scale(0.5, 0.5)],
+            mnist_context.suite.seeds[:30],
+            mnist_context.suite.seed_labels[:30],
+            clean_scores=clean_scores,
+            fpr=0.1,
+        )
+        achieved = (clean_scores >= sweep.threshold).mean()
+        assert achieved <= 0.1 + 1e-12
+
+    def test_empty_scc_gives_none(self, mnist_context):
+        sweep = run_distortion_sweep(
+            mnist_context.model,
+            mnist_context.validator.joint_discrepancy,
+            [Rotation(1.0)],  # too gentle to fool anything
+            mnist_context.suite.seeds[:30],
+            mnist_context.suite.seed_labels[:30],
+            clean_scores=np.zeros(30),
+        )
+        level = sweep.levels[0]
+        if level.scc_count == 0:
+            assert level.detection_scc is None
+
+
+class TestEarlyWarningCorrelation:
+    def _sweep(self, pairs):
+        levels = [
+            SweepLevel(
+                config=Rotation(float(i)),
+                success_rate=s,
+                scc_count=1,
+                fcc_count=1,
+                detection_scc=1.0,
+                detection_fcc=d,
+            )
+            for i, (s, d) in enumerate(pairs)
+        ]
+        return DistortionSweep("dv", 0.059, 0.0, levels)
+
+    def test_perfect_positive_correlation(self):
+        sweep = self._sweep([(0.1, 0.1), (0.5, 0.5), (0.9, 0.9)])
+        assert early_warning_correlation(sweep) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        sweep = self._sweep([(0.1, 0.9), (0.5, 0.5), (0.9, 0.1)])
+        assert early_warning_correlation(sweep) == pytest.approx(-1.0)
+
+    def test_nan_when_underdetermined(self):
+        sweep = self._sweep([(0.5, 0.5)])
+        assert np.isnan(early_warning_correlation(sweep))
+        flat = self._sweep([(0.5, 0.5), (0.6, 0.5)])
+        assert np.isnan(early_warning_correlation(flat))
+
+    def test_real_pipeline_correlation_positive(self, mnist_context):
+        """Section IV-D6: Deep Validation's FCC detection tracks danger."""
+        sweep = run_distortion_sweep(
+            mnist_context.model,
+            mnist_context.validator.joint_discrepancy,
+            [Scale(s, s) for s in (0.9, 0.7, 0.5)],
+            mnist_context.suite.seeds[:80],
+            mnist_context.suite.seed_labels[:80],
+            clean_scores=mnist_context.validator.joint_discrepancy(
+                mnist_context.clean_images[:150]
+            ),
+        )
+        assert early_warning_correlation(sweep) > 0.5

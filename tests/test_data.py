@@ -1,0 +1,134 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_NAMES,
+    load_dataset,
+    sample_seed_images,
+)
+from repro.data.cifar import CIFAR_CLASS_NAMES, render_cifar_image
+from repro.data.glyphs import glyph, place_centered, upsample
+from repro.data.mnist import render_digit
+from repro.data.svhn import render_svhn_digit
+
+
+class TestGlyphs:
+    def test_all_digits_defined(self):
+        for digit in range(10):
+            bitmap = glyph(digit)
+            assert bitmap.shape == (7, 5)
+            assert bitmap.sum() > 0
+
+    def test_glyphs_distinct(self):
+        bitmaps = [glyph(d).tobytes() for d in range(10)]
+        assert len(set(bitmaps)) == 10
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            glyph(10)
+
+    def test_upsample_factor(self):
+        up = upsample(glyph(0), 3)
+        assert up.shape == (21, 15)
+
+    def test_upsample_rejects_zero(self):
+        with pytest.raises(ValueError):
+            upsample(glyph(0), 0)
+
+    def test_place_centered_clips_at_edges(self):
+        canvas = np.zeros((10, 10))
+        place_centered(canvas, np.ones((4, 4)), dx=20)  # fully off-canvas
+        assert canvas.sum() == 0.0
+        place_centered(canvas, np.ones((4, 4)), dx=4)  # partially on
+        assert 0 < canvas.sum() < 16
+
+
+class TestRenderers:
+    def test_mnist_render_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        image = render_digit(3, rng)
+        assert image.shape == (1, 28, 28)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_mnist_render_no_jitter_deterministic(self):
+        rng = np.random.default_rng(0)
+        a = render_digit(5, rng, jitter=False)
+        b = render_digit(5, np.random.default_rng(1), jitter=False)
+        np.testing.assert_allclose(a, b)
+
+    def test_svhn_render_is_colour(self):
+        rng = np.random.default_rng(0)
+        image = render_svhn_digit(7, rng)
+        assert image.shape == (3, 32, 32)
+        # Channels should differ (coloured, not grey).
+        assert not np.allclose(image[0], image[1])
+
+    def test_cifar_render_all_classes(self):
+        rng = np.random.default_rng(0)
+        for label in range(10):
+            image = render_cifar_image(label, rng)
+            assert image.shape == (3, 32, 32)
+
+    def test_cifar_class_names_count(self):
+        assert len(CIFAR_CLASS_NAMES) == 10
+        assert len(set(CIFAR_CLASS_NAMES)) == 10
+
+
+class TestLoadDataset:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("imagenet")
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_shapes_and_ranges(self, name):
+        ds = load_dataset(name, train_size=40, test_size=20, seed=0)
+        assert len(ds.train_images) == 40
+        assert len(ds.test_images) == 20
+        assert ds.train_images.min() >= 0.0
+        assert ds.train_images.max() <= 1.0
+        assert ds.num_classes == 10
+        assert ds.train_labels.dtype == np.int64
+
+    def test_channels_property(self):
+        assert load_dataset("synth-mnist", 4, 2).channels == 1
+        assert load_dataset("synth-svhn", 4, 2).channels == 3
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("synth-mnist", 10, 5, seed=3)
+        b = load_dataset("synth-mnist", 10, 5, seed=3)
+        np.testing.assert_allclose(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("synth-mnist", 10, 5, seed=3)
+        b = load_dataset("synth-mnist", 10, 5, seed=4)
+        assert not np.allclose(a.train_images, b.train_images)
+
+    def test_train_test_streams_disjoint(self):
+        ds = load_dataset("synth-mnist", 10, 10, seed=0)
+        assert not np.allclose(ds.train_images[:5], ds.test_images[:5])
+
+    def test_labels_roughly_balanced(self):
+        ds = load_dataset("synth-mnist", 1000, 10, seed=0)
+        counts = np.bincount(ds.train_labels, minlength=10)
+        assert counts.min() > 50
+
+    def test_repr(self):
+        ds = load_dataset("synth-mnist", 4, 2)
+        assert "synth-mnist" in repr(ds)
+
+
+class TestSampleSeedImages:
+    def test_only_correctly_classified(self, mnist_context):
+        model = mnist_context.model
+        dataset = mnist_context.dataset
+        seeds, labels = sample_seed_images(dataset, model, count=50, rng=0)
+        np.testing.assert_array_equal(model.predict(seeds), labels)
+
+    def test_too_many_requested(self, mnist_context):
+        with pytest.raises(ValueError):
+            sample_seed_images(
+                mnist_context.dataset, mnist_context.model, count=10**6
+            )

@@ -1,0 +1,93 @@
+"""Tests for netpbm image output and the report generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.images import (
+    export_corner_case_gallery,
+    read_pgm,
+    write_image,
+    write_pgm,
+    write_ppm,
+)
+
+
+class TestPgm:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        image = rng.random((1, 9, 7))
+        path = write_pgm(tmp_path / "img.pgm", image)
+        back = read_pgm(path)
+        assert back.shape == (1, 9, 7)
+        np.testing.assert_allclose(back, image, atol=1 / 255)
+
+    def test_accepts_2d(self, tmp_path):
+        write_pgm(tmp_path / "img.pgm", np.zeros((4, 4)))
+        assert read_pgm(tmp_path / "img.pgm").shape == (1, 4, 4)
+
+    def test_rejects_colour(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "img.pgm", np.zeros((3, 4, 4)))
+
+    def test_read_rejects_non_pgm(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"JUNKDATA")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_values_clipped(self, tmp_path):
+        path = write_pgm(tmp_path / "img.pgm", np.array([[2.0, -1.0]]))
+        back = read_pgm(path)
+        np.testing.assert_allclose(back[0, 0], [1.0, 0.0])
+
+
+class TestPpm:
+    def test_header_and_size(self, tmp_path):
+        path = write_ppm(tmp_path / "img.ppm", np.zeros((3, 5, 6)))
+        payload = path.read_bytes()
+        assert payload.startswith(b"P6\n6 5\n255\n")
+        assert len(payload) == len(b"P6\n6 5\n255\n") + 5 * 6 * 3
+
+    def test_rejects_greyscale(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "img.ppm", np.zeros((1, 4, 4)))
+
+
+class TestDispatch:
+    def test_write_image_by_channels(self, tmp_path):
+        assert write_image(tmp_path / "a.pgm", np.zeros((1, 4, 4))).suffix == ".pgm"
+        assert write_image(tmp_path / "b.ppm", np.zeros((3, 4, 4))).suffix == ".ppm"
+        with pytest.raises(ValueError):
+            write_image(tmp_path / "c", np.zeros((2, 4, 4)))
+
+
+class TestGallery:
+    def test_exports_all_panels(self, tmp_path, mnist_context):
+        written = export_corner_case_gallery(mnist_context.suite, tmp_path / "gallery")
+        names = {p.name for p in written}
+        assert "seed.pgm" in names
+        assert len(written) == 1 + len(mnist_context.suite.viable_transformations)
+        for path in written:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+
+class TestReport:
+    def test_build_report_contains_all_tables(self, mnist_context, svhn_context, cifar_context):
+        from repro.experiments.report import build_report
+
+        report = build_report("tiny", include_attacks=False, include_figures=False)
+        for marker in ("Table II", "Table III", "Table IV", "Table V",
+                       "Table VI", "Table VII"):
+            assert marker in report
+        assert "Table VIII" not in report
+
+    def test_write_report(self, tmp_path, mnist_context, svhn_context, cifar_context):
+        from repro.experiments.report import write_report
+
+        path = write_report(
+            tmp_path / "report.md", profile="tiny",
+            include_attacks=False, include_figures=False,
+        )
+        assert path.exists()
+        assert "Deep Validation reproduction report" in path.read_text()

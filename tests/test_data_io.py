@@ -1,0 +1,174 @@
+"""Tests for the real-dataset file-format loaders (exercised offline by
+synthesising the exact on-disk formats)."""
+
+import gzip
+import pickle
+
+import numpy as np
+import pytest
+from scipy.io import savemat
+
+from repro.data.io import (
+    load_cifar10,
+    load_mnist,
+    load_real_dataset,
+    load_svhn,
+    read_idx,
+    write_idx,
+)
+
+
+class TestIdx:
+    def test_roundtrip_3d(self, tmp_path):
+        array = np.arange(2 * 4 * 5, dtype=np.uint8).reshape(2, 4, 5)
+        path = tmp_path / "data.idx"
+        write_idx(path, array)
+        np.testing.assert_array_equal(read_idx(path), array)
+
+    def test_roundtrip_gzip(self, tmp_path):
+        array = np.arange(10, dtype=np.uint8)
+        path = tmp_path / "data.idx.gz"
+        write_idx(path, array)
+        np.testing.assert_array_equal(read_idx(path), array)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"\xff\xff\x08\x01\x00\x00\x00\x01x")
+        with pytest.raises(ValueError):
+            read_idx(path)
+
+    def test_unknown_type_code(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"\x00\x00\x77\x01\x00\x00\x00\x01x")
+        with pytest.raises(ValueError):
+            read_idx(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "short"
+        path.write_bytes(b"\x00\x00\x08\x01\x00\x00\x00\x05ab")
+        with pytest.raises(ValueError):
+            read_idx(path)
+
+    def test_write_rejects_non_uint8(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_idx(tmp_path / "x.idx", np.zeros(3, dtype=np.float64))
+
+
+def _make_mnist_dir(tmp_path, train=20, test=8):
+    rng = np.random.default_rng(0)
+    write_idx(
+        tmp_path / "train-images-idx3-ubyte",
+        rng.integers(0, 256, size=(train, 28, 28), dtype=np.uint8),
+    )
+    write_idx(
+        tmp_path / "train-labels-idx1-ubyte",
+        rng.integers(0, 10, size=train, dtype=np.uint8),
+    )
+    write_idx(
+        tmp_path / "t10k-images-idx3-ubyte.gz",
+        rng.integers(0, 256, size=(test, 28, 28), dtype=np.uint8),
+    )
+    write_idx(
+        tmp_path / "t10k-labels-idx1-ubyte.gz",
+        rng.integers(0, 10, size=test, dtype=np.uint8),
+    )
+
+
+class TestMnistLoader:
+    def test_loads_canonical_layout(self, tmp_path):
+        _make_mnist_dir(tmp_path)
+        ds = load_mnist(tmp_path)
+        assert ds.train_images.shape == (20, 1, 28, 28)
+        assert ds.test_images.shape == (8, 1, 28, 28)
+        assert ds.train_images.max() <= 1.0
+        assert ds.train_labels.dtype == np.int64
+
+    def test_missing_file_reported(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mnist(tmp_path)
+
+
+def _make_cifar_dir(tmp_path, per_batch=4):
+    rng = np.random.default_rng(1)
+    root = tmp_path / "cifar-10-batches-py"
+    root.mkdir()
+    for name in [f"data_batch_{i}" for i in range(1, 6)] + ["test_batch"]:
+        payload = {
+            b"data": rng.integers(0, 256, size=(per_batch, 3072), dtype=np.uint8),
+            b"labels": rng.integers(0, 10, size=per_batch).tolist(),
+        }
+        with open(root / name, "wb") as fh:
+            pickle.dump(payload, fh)
+
+
+class TestCifarLoader:
+    def test_loads_batches(self, tmp_path):
+        _make_cifar_dir(tmp_path)
+        ds = load_cifar10(tmp_path)
+        assert ds.train_images.shape == (20, 3, 32, 32)
+        assert ds.test_images.shape == (4, 3, 32, 32)
+        assert ds.class_names[0] == "airplane"
+
+    def test_accepts_inner_directory_directly(self, tmp_path):
+        _make_cifar_dir(tmp_path)
+        ds = load_cifar10(tmp_path / "cifar-10-batches-py")
+        assert len(ds.train_images) == 20
+
+    def test_missing_batch_reported(self, tmp_path):
+        (tmp_path / "cifar-10-batches-py").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_cifar10(tmp_path)
+
+
+def _make_svhn_dir(tmp_path, train=6, test=3):
+    rng = np.random.default_rng(2)
+    for split, count in (("train", train), ("test", test)):
+        savemat(
+            str(tmp_path / f"{split}_32x32.mat"),
+            {
+                "X": rng.integers(0, 256, size=(32, 32, 3, count), dtype=np.uint8),
+                "y": rng.integers(1, 11, size=(count, 1), dtype=np.uint8),
+            },
+        )
+
+
+class TestSvhnLoader:
+    def test_loads_mat_files(self, tmp_path):
+        _make_svhn_dir(tmp_path)
+        ds = load_svhn(tmp_path)
+        assert ds.train_images.shape == (6, 3, 32, 32)
+        assert ds.test_images.shape == (3, 3, 32, 32)
+
+    def test_label_10_maps_to_digit_0(self, tmp_path):
+        savemat(
+            str(tmp_path / "train_32x32.mat"),
+            {
+                "X": np.zeros((32, 32, 3, 2), dtype=np.uint8),
+                "y": np.array([[10], [3]], dtype=np.uint8),
+            },
+        )
+        savemat(
+            str(tmp_path / "test_32x32.mat"),
+            {
+                "X": np.zeros((32, 32, 3, 1), dtype=np.uint8),
+                "y": np.array([[10]], dtype=np.uint8),
+            },
+        )
+        ds = load_svhn(tmp_path)
+        np.testing.assert_array_equal(ds.train_labels, [0, 3])
+        np.testing.assert_array_equal(ds.test_labels, [0])
+
+    def test_missing_file_reported(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_svhn(tmp_path)
+
+
+class TestRegistry:
+    def test_unknown_name(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_real_dataset("imagenet", tmp_path)
+
+    def test_dispatch(self, tmp_path):
+        _make_mnist_dir(tmp_path)
+        ds = load_real_dataset("mnist", tmp_path)
+        assert ds.name == "mnist"

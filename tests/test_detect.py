@@ -1,0 +1,136 @@
+"""Tests for the baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detect import (
+    DeepValidationDetector,
+    FeatureSqueezing,
+    KernelDensityDetector,
+    bit_depth_squeeze,
+    median_filter_squeeze,
+    non_local_means_squeeze,
+)
+from repro.core import ValidatorConfig
+
+
+class TestSqueezers:
+    def test_bit_depth_levels(self):
+        image = np.linspace(0, 1, 100).reshape(1, 1, 10, 10)
+        squeezed = bit_depth_squeeze(image, 1)
+        assert set(np.unique(squeezed)) <= {0.0, 1.0}
+        squeezed3 = bit_depth_squeeze(image, 3)
+        assert len(np.unique(squeezed3)) <= 8
+
+    def test_bit_depth_idempotent(self):
+        image = np.random.default_rng(0).random((1, 1, 6, 6))
+        once = bit_depth_squeeze(image, 4)
+        np.testing.assert_allclose(bit_depth_squeeze(once, 4), once)
+
+    def test_bit_depth_8_nearly_identity(self):
+        image = np.random.default_rng(1).random((1, 1, 6, 6))
+        np.testing.assert_allclose(bit_depth_squeeze(image, 8), image, atol=1 / 255)
+
+    def test_bit_depth_invalid(self):
+        with pytest.raises(ValueError):
+            bit_depth_squeeze(np.zeros((1, 1, 2, 2)), 0)
+
+    def test_median_filter_removes_salt(self):
+        image = np.zeros((1, 1, 9, 9))
+        image[0, 0, 4, 4] = 1.0  # single salt pixel
+        filtered = median_filter_squeeze(image, 3)
+        assert filtered[0, 0, 4, 4] == 0.0
+
+    def test_median_filter_shape_check(self):
+        with pytest.raises(ValueError):
+            median_filter_squeeze(np.zeros((3, 4, 4)))
+
+    def test_nlm_smooths_noise(self):
+        rng = np.random.default_rng(2)
+        base = np.full((1, 1, 16, 16), 0.5)
+        noisy = base + rng.normal(0, 0.1, base.shape)
+        smoothed = non_local_means_squeeze(noisy, strength=0.3)
+        assert smoothed.std() < noisy.std()
+
+    def test_nlm_preserves_constant_image(self):
+        image = np.full((1, 3, 8, 8), 0.7)
+        np.testing.assert_allclose(non_local_means_squeeze(image), image, atol=1e-9)
+
+    def test_nlm_shape_check(self):
+        with pytest.raises(ValueError):
+            non_local_means_squeeze(np.zeros((3, 4, 4)))
+
+
+class TestFeatureSqueezing:
+    def test_clean_images_score_low(self, mnist_context):
+        detector = FeatureSqueezing(mnist_context.model, greyscale=True)
+        scores = detector.score(mnist_context.clean_images[:30])
+        # L1 distance between two probability vectors is at most 2.
+        assert np.all(scores >= 0)
+        assert np.all(scores <= 2.0)
+        assert np.median(scores) < 0.5
+
+    def test_default_squeezer_sets(self, mnist_context):
+        grey = FeatureSqueezing(mnist_context.model, greyscale=True)
+        colour = FeatureSqueezing(mnist_context.model, greyscale=False)
+        assert len(grey.squeezers) == 2
+        assert len(colour.squeezers) == 3
+
+    def test_fit_is_stateless(self, mnist_context):
+        detector = FeatureSqueezing(mnist_context.model, greyscale=True)
+        assert detector.fit(np.zeros((1, 1, 28, 28)), np.zeros(1)) is detector
+
+    def test_custom_squeezers(self, mnist_context):
+        detector = FeatureSqueezing(
+            mnist_context.model,
+            squeezers=[("bit-2", lambda x: bit_depth_squeeze(x, 2))],
+        )
+        scores = detector.score(mnist_context.clean_images[:5])
+        assert scores.shape == (5,)
+
+
+class TestKernelDensityDetector:
+    def test_fit_then_score(self, mnist_context):
+        detector = KernelDensityDetector(mnist_context.model, bandwidth=1.0)
+        detector.fit(
+            mnist_context.dataset.train_images[:300],
+            mnist_context.dataset.train_labels[:300],
+        )
+        clean_scores = detector.score(mnist_context.clean_images[:20])
+        noise_scores = detector.score(np.random.default_rng(0).random((20, 1, 28, 28)))
+        assert noise_scores.mean() > clean_scores.mean()
+
+    def test_unfitted_raises(self, mnist_context):
+        with pytest.raises(RuntimeError):
+            KernelDensityDetector(mnist_context.model).score(
+                mnist_context.clean_images[:2]
+            )
+
+    def test_invalid_bandwidth(self, mnist_context):
+        with pytest.raises(ValueError):
+            KernelDensityDetector(mnist_context.model, bandwidth=0.0)
+
+    def test_max_per_class_respected(self, mnist_context):
+        detector = KernelDensityDetector(mnist_context.model, max_per_class=10)
+        detector.fit(
+            mnist_context.dataset.train_images[:400],
+            mnist_context.dataset.train_labels[:400],
+        )
+        for reference in detector._references.values():
+            assert len(reference) <= 10
+
+
+class TestDeepValidationDetector:
+    def test_adapter_matches_validator(self, mnist_context):
+        detector = DeepValidationDetector(
+            mnist_context.model, ValidatorConfig(nu=0.1, max_per_class=60)
+        )
+        detector.fit(
+            mnist_context.dataset.train_images[:400],
+            mnist_context.dataset.train_labels[:400],
+        )
+        scores = detector.score(mnist_context.clean_images[:10])
+        np.testing.assert_allclose(
+            scores,
+            detector.validator.joint_discrepancy(mnist_context.clean_images[:10]),
+        )

@@ -1,0 +1,97 @@
+"""Tests for the detector ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.detect import Detector, EnsembleDetector
+
+
+class StubDetector(Detector):
+    """Scores by distance from a fixed per-pixel pattern."""
+
+    def __init__(self, pattern_value: float, scale: float = 1.0) -> None:
+        self.pattern_value = pattern_value
+        self.scale = scale
+        self.fitted = False
+
+    def fit(self, images, labels):
+        self.fitted = True
+        return self
+
+    def score(self, images):
+        images = np.asarray(images)
+        return self.scale * np.abs(images - self.pattern_value).reshape(len(images), -1).mean(axis=1)
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    clean = rng.uniform(0.4, 0.6, size=(50, 1, 4, 4))
+    return clean
+
+
+class TestEnsembleDetector:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            EnsembleDetector([])
+
+    def test_invalid_fusion(self):
+        with pytest.raises(ValueError):
+            EnsembleDetector([StubDetector(0.5)], fusion="median")
+
+    def test_unfitted_raises(self, data):
+        ensemble = EnsembleDetector([StubDetector(0.5)])
+        with pytest.raises(RuntimeError):
+            ensemble.score(data)
+
+    def test_fit_fits_members(self, data):
+        members = [StubDetector(0.5), StubDetector(0.0)]
+        EnsembleDetector(members).fit(data, np.zeros(len(data)))
+        assert all(m.fitted for m in members)
+
+    def test_standardisation_makes_scales_commensurable(self, data):
+        # Same pattern, wildly different raw scales: standardised member
+        # scores must coincide.
+        members = [StubDetector(0.5, scale=1.0), StubDetector(0.5, scale=1000.0)]
+        ensemble = EnsembleDetector(members).fit(data, np.zeros(len(data)))
+        scores = ensemble.member_scores(data)
+        np.testing.assert_allclose(scores[:, 0], scores[:, 1], atol=1e-9)
+
+    def test_max_fusion_catches_union(self, data):
+        # Member A flags bright anomalies, member B flags dark anomalies.
+        members = [StubDetector(0.0), StubDetector(1.0)]
+        ensemble = EnsembleDetector(members, fusion="max").fit(data, np.zeros(len(data)))
+        bright = np.ones((10, 1, 4, 4))
+        dark = np.zeros((10, 1, 4, 4))
+        clean_scores = ensemble.score(data)
+        assert ensemble.score(bright).min() > np.quantile(clean_scores, 0.95)
+        assert ensemble.score(dark).min() > np.quantile(clean_scores, 0.95)
+
+    def test_mean_fusion_differs_from_max(self, data):
+        members = [StubDetector(0.0), StubDetector(1.0)]
+        mx = EnsembleDetector(members, fusion="max").fit(data, np.zeros(len(data)))
+        mean = EnsembleDetector(members, fusion="mean").fit(data, np.zeros(len(data)))
+        bright = np.ones((5, 1, 4, 4))
+        assert not np.allclose(mx.score(bright), mean.score(bright))
+
+    def test_integration_dv_plus_squeezing(self, mnist_context):
+        """The paper's suggestion: Deep Validation + feature squeezing."""
+        from repro.core import ValidatorConfig
+        from repro.detect import DeepValidationDetector, FeatureSqueezing
+        from repro.metrics import roc_auc_score
+
+        ensemble = EnsembleDetector(
+            [
+                DeepValidationDetector(
+                    mnist_context.model, ValidatorConfig(nu=0.1, max_per_class=80)
+                ),
+                FeatureSqueezing(mnist_context.model, greyscale=True),
+            ]
+        )
+        dataset = mnist_context.dataset
+        ensemble.fit(dataset.train_images[:400], dataset.train_labels[:400])
+        scc, _ = mnist_context.suite.all_scc_images()
+        clean = mnist_context.clean_images[:120]
+        labels = np.concatenate([np.zeros(len(clean)), np.ones(120)])
+        scores = np.concatenate([ensemble.score(clean), ensemble.score(scc[:120])])
+        assert roc_auc_score(labels, scores) > 0.95

@@ -1,0 +1,90 @@
+"""Tests for the extended baseline detectors: LID and Mahalanobis."""
+
+import numpy as np
+import pytest
+
+from repro.detect import LIDDetector, MahalanobisDetector, lid_estimates
+
+
+class TestLidEstimates:
+    def test_uniform_line_has_low_lid(self):
+        rng = np.random.default_rng(0)
+        # Points on a 1-D manifold embedded in 5-D.
+        t = rng.random(300)
+        reference = np.outer(t, np.ones(5)) + rng.normal(0, 1e-3, (300, 5))
+        queries = reference[:20]
+        line_lid = lid_estimates(queries, reference, neighbours=10)
+        # Full-dimensional Gaussian cloud for comparison.
+        cloud = rng.normal(size=(300, 5))
+        cloud_lid = lid_estimates(cloud[:20], cloud, neighbours=10)
+        assert line_lid.mean() < cloud_lid.mean()
+
+    def test_parameter_validation(self):
+        reference = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            lid_estimates(reference, reference, neighbours=1)
+        with pytest.raises(ValueError):
+            lid_estimates(reference, reference, neighbours=10)
+
+    def test_positive_estimates(self):
+        rng = np.random.default_rng(1)
+        cloud = rng.normal(size=(100, 4))
+        lid = lid_estimates(cloud[:10], cloud, neighbours=8)
+        assert np.all(lid > 0)
+
+
+class TestLidDetector:
+    @pytest.fixture(scope="class")
+    def fitted(self, mnist_context):
+        detector = LIDDetector(mnist_context.model, neighbours=8, batch_size=80)
+        dataset = mnist_context.dataset
+        detector.fit(dataset.train_images[:250], dataset.train_labels[:250])
+        return detector
+
+    def test_unfitted_raises(self, mnist_context):
+        with pytest.raises(RuntimeError):
+            LIDDetector(mnist_context.model).score(np.zeros((1, 1, 28, 28)))
+
+    def test_noise_scores_above_clean(self, fitted, mnist_context):
+        clean = fitted.score(mnist_context.clean_images[:30])
+        noise = fitted.score(np.random.default_rng(0).random((30, 1, 28, 28)))
+        assert noise.mean() > clean.mean()
+
+    def test_fit_with_explicit_anomalies(self, mnist_context):
+        detector = LIDDetector(mnist_context.model, neighbours=8, batch_size=80)
+        dataset = mnist_context.dataset
+        anomalies = 1.0 - dataset.train_images[:100]  # complements
+        detector.fit(
+            dataset.train_images[:250], dataset.train_labels[:250], anomalies=anomalies
+        )
+        scores = detector.score(mnist_context.clean_images[:10])
+        assert scores.shape == (10,)
+
+
+class TestMahalanobisDetector:
+    @pytest.fixture(scope="class")
+    def fitted(self, mnist_context):
+        detector = MahalanobisDetector(mnist_context.model)
+        dataset = mnist_context.dataset
+        return detector.fit(dataset.train_images, dataset.train_labels)
+
+    def test_invalid_regularisation(self, mnist_context):
+        with pytest.raises(ValueError):
+            MahalanobisDetector(mnist_context.model, regularisation=-1.0)
+
+    def test_unfitted_raises(self, mnist_context):
+        with pytest.raises(RuntimeError):
+            MahalanobisDetector(mnist_context.model).score(np.zeros((1, 1, 28, 28)))
+
+    def test_scores_nonnegative(self, fitted, mnist_context):
+        scores = fitted.score(mnist_context.clean_images[:20])
+        assert np.all(scores >= 0)
+
+    def test_corner_cases_score_higher(self, fitted, mnist_context):
+        clean = fitted.score(mnist_context.clean_images[:100])
+        scc, _ = mnist_context.suite.all_scc_images()
+        corner = fitted.score(scc[:100])
+        assert corner.mean() > clean.mean()
+
+    def test_one_mean_per_class(self, fitted):
+        assert len(fitted.class_means_) == 10

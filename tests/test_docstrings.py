@@ -1,0 +1,43 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exports are documented at their definition site
+        if not inspect.getdoc(obj):
+            missing.append(name)
+        elif inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_") or not inspect.isfunction(method):
+                    continue
+                if not inspect.getdoc(method):
+                    missing.append(f"{name}.{method_name}")
+    assert not missing, f"{module_name}: missing docstrings on {missing}"

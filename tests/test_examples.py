@@ -1,0 +1,56 @@
+"""The examples are part of the public API surface: they must run green.
+
+Each example asserts its own success criteria internally; these tests
+execute them in-process (sharing the artifact cache) and check they
+complete.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.usefixtures("mnist_context")
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        assert "quickstart OK" in capsys.readouterr().out
+
+    def test_corner_case_monitoring(self, capsys):
+        run_example("corner_case_monitoring.py")
+        out = capsys.readouterr().out
+        assert "monitoring example OK" in out
+        assert "intervention rate" in out
+
+    def test_adversarial_defense(self, capsys):
+        run_example("adversarial_defense.py")
+        assert "adversarial defense example OK" in capsys.readouterr().out
+
+    def test_distortion_sensitivity_rotation(self, capsys):
+        run_example("distortion_sensitivity.py", ["rotation"])
+        assert "distortion sensitivity example OK" in capsys.readouterr().out
+
+    def test_distortion_sensitivity_unknown_sweep(self):
+        with pytest.raises(SystemExit):
+            run_example("distortion_sensitivity.py", ["teleport"])
+
+    def test_export_artifacts(self, tmp_path, capsys):
+        run_example("export_artifacts.py", [str(tmp_path / "out")])
+        out = capsys.readouterr().out
+        assert "export example OK" in out
+        assert (tmp_path / "out" / "gallery" / "seed.pgm").exists()
+        assert (tmp_path / "out" / "report.md").exists()

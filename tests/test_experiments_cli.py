@@ -1,0 +1,29 @@
+"""Tests for the experiment CLI entry point."""
+
+import pytest
+
+from repro.experiments.run import main
+
+
+class TestCli:
+    def test_requires_experiment_or_all(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table99"])
+
+    def test_table4_runs_standalone(self, capsys):
+        main(["--experiment", "table4"])
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_single_dataset_table(self, mnist_context, capsys):
+        main(["--experiment", "table5", "--dataset", "synth-mnist"])
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "synth-mnist" in out
+
+    def test_figure2_through_cli(self, mnist_context, capsys):
+        main(["--experiment", "figure2", "--dataset", "synth-mnist"])
+        assert "Figure 2" in capsys.readouterr().out

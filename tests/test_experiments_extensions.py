@@ -1,0 +1,72 @@
+"""Tests for the extension-study runners."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    run_augmentation_study,
+    run_tradeoff_study,
+    run_weighting_study,
+)
+
+
+class TestWeightingStudy:
+    @pytest.fixture(scope="class")
+    def study(self, mnist_context):
+        return run_weighting_study(mnist_context)
+
+    def test_all_aucs_valid(self, study):
+        for auc in (study.uniform_auc, study.logistic_auc, study.greedy_auc):
+            assert 0.0 <= auc <= 1.0
+
+    def test_weights_shape(self, study, mnist_context):
+        layers = len(mnist_context.validator.layer_indices)
+        assert study.logistic_weights.shape == (layers,)
+        assert study.greedy_weights.shape == (layers,)
+
+    def test_render(self, study):
+        rendered = study.render()
+        assert "uniform sum" in rendered
+        assert "logistic" in rendered
+
+
+class TestTradeoffStudy:
+    @pytest.fixture(scope="class")
+    def study(self, mnist_context):
+        return run_tradeoff_study(mnist_context)
+
+    def test_curve_covers_all_layers(self, study, mnist_context):
+        assert len(study.curve) == len(mnist_context.validator.layer_indices)
+
+    def test_final_auc_high(self, study):
+        assert study.curve[-1].auc > 0.95
+
+    def test_render_lists_layers(self, study):
+        rendered = study.render()
+        assert "Validators" in rendered
+        assert study.layer_names[0].split(",")[0] in rendered
+
+
+class TestAugmentationStudy:
+    @pytest.fixture(scope="class")
+    def study(self, mnist_context):
+        # One epoch keeps this test affordable; the full study runs in the
+        # extension benchmark.
+        return run_augmentation_study(mnist_context, epochs=1, seed=9)
+
+    def test_families_covered(self, study, mnist_context):
+        viable = set(mnist_context.suite.viable_transformations)
+        assert set(study.success_before) == viable
+        assert set(study.success_after) == viable
+
+    def test_clean_accuracy_reported(self, study):
+        assert 0.0 <= study.clean_accuracy_after <= 1.0
+
+    def test_residual_auc_when_residue_exists(self, study):
+        if not np.isnan(study.residual_auc):
+            assert study.residual_auc > 0.8
+
+    def test_render(self, study):
+        rendered = study.render()
+        assert "Success before" in rendered
+        assert "residual" in rendered

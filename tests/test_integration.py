@@ -1,0 +1,87 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
+from repro.core.thresholds import fpr_calibrated_threshold
+from repro.metrics import roc_auc_score
+from repro.transforms import Rotation, Scale
+
+
+class TestFullPipeline:
+    def test_corner_case_detection_auc(self, mnist_context):
+        """The headline result: high AUC separating SCCs from clean images."""
+        scc, _ = mnist_context.suite.all_scc_images()
+        clean = mnist_context.clean_images
+        scores = np.concatenate(
+            [
+                mnist_context.validator.joint_discrepancy(clean),
+                mnist_context.validator.joint_discrepancy(scc),
+            ]
+        )
+        labels = np.concatenate([np.zeros(len(clean)), np.ones(len(scc))])
+        assert roc_auc_score(labels, scores) > 0.97
+
+    def test_discrepancy_grows_with_distortion(self, mnist_context):
+        validator = mnist_context.validator
+        seeds = mnist_context.suite.seeds[:40]
+        means = [
+            validator.joint_discrepancy(Rotation(theta)(seeds)).mean()
+            for theta in (0.0, 20.0, 40.0, 60.0)
+        ]
+        # Grows with distortion through the working range; at extreme angles
+        # it may plateau (a heavily rotated digit can resemble another
+        # digit), so the tail only needs to stay far above the clean level.
+        assert means[0] < means[1] < means[2]
+        assert means[3] > means[1]
+
+    def test_monitor_full_loop(self, mnist_context):
+        validator = mnist_context.validator
+        clean_scores = validator.joint_discrepancy(mnist_context.clean_images[:150])
+        validator.epsilon = fpr_calibrated_threshold(clean_scores, 0.05)
+        monitor = RuntimeMonitor(validator)
+        corners = Scale(0.5, 0.5)(mnist_context.suite.seeds[:30])
+        verdicts = monitor.classify(corners)
+        rejected = sum(not v.accepted for v in verdicts)
+        assert rejected >= 25
+
+    def test_refit_validator_reproducible(self, mnist_context):
+        """Fitting twice with the same config gives identical scores."""
+        model = mnist_context.model
+        dataset = mnist_context.dataset
+        config = ValidatorConfig(nu=0.1, max_per_class=60, seed=3)
+        scores = []
+        for _ in range(2):
+            validator = DeepValidator(model, config)
+            validator.fit(dataset.train_images[:400], dataset.train_labels[:400])
+            scores.append(validator.joint_discrepancy(dataset.test_images[:20]))
+        np.testing.assert_allclose(scores[0], scores[1])
+
+    def test_rear_layer_validator_still_detects(self, mnist_context):
+        """The DenseNet rear-layer policy applied to the MNIST model."""
+        model = mnist_context.model
+        dataset = mnist_context.dataset
+        validator = DeepValidator(
+            model, ValidatorConfig(nu=0.1, max_per_class=60, layers=[4, 5])
+        )
+        validator.fit(dataset.train_images[:500], dataset.train_labels[:500])
+        clean = validator.joint_discrepancy(mnist_context.clean_images[:80])
+        corners = validator.joint_discrepancy(
+            Rotation(50.0)(mnist_context.suite.seeds[:80])
+        )
+        labels = np.concatenate([np.zeros(80), np.ones(80)])
+        auc = roc_auc_score(labels, np.concatenate([clean, corners]))
+        assert auc > 0.9
+
+    def test_validators_transfer_across_test_draws(self, mnist_context):
+        """Clean images from a fresh generator draw score like the cached ones."""
+        from repro.data import load_dataset
+
+        fresh = load_dataset("synth-mnist", train_size=2, test_size=60, seed=123)
+        scores = mnist_context.validator.joint_discrepancy(fresh.test_images)
+        clean_ref = mnist_context.validator.joint_discrepancy(
+            mnist_context.clean_images[:60]
+        )
+        # Same distribution: mean discrepancy within a broad band.
+        assert abs(scores.mean() - clean_ref.mean()) < 1.0

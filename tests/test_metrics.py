@@ -1,0 +1,140 @@
+"""Tests for ROC metrics and rate utilities."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    roc_auc_score,
+    roc_curve,
+    threshold_at_fpr,
+    true_positive_rate,
+)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(labels, scores) == 1.0
+
+    def test_perfect_inversion(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(labels, scores) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=4000)
+        labels[0], labels[1] = 0, 1  # ensure both classes
+        scores = rng.random(4000)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_all_ties_is_half(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.ones(4)
+        assert roc_auc_score(labels, scores) == 0.5
+
+    def test_known_value_with_tie(self):
+        labels = np.array([0, 1, 1])
+        scores = np.array([0.5, 0.5, 0.9])
+        # Pairs: (0.5 vs 0.5) tie = 0.5, (0.5 vs 0.9) win = 1 -> 1.5/2.
+        assert roc_auc_score(labels, scores) == pytest.approx(0.75)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.zeros(4), np.arange(4.0))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0, 1, 2]), np.arange(3.0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0, 1]), np.arange(3.0))
+
+    def test_matches_trapezoid_integration(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=300)
+        labels[:2] = [0, 1]
+        scores = rng.normal(size=300) + labels  # informative scores
+        fpr, tpr, _ = roc_curve(labels, scores)
+        trapezoid = float(np.trapezoid(tpr, fpr))
+        assert roc_auc_score(labels, scores) == pytest.approx(trapezoid, abs=1e-9)
+
+
+class TestRocCurve:
+    def test_starts_at_origin_ends_at_one_one(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.1, 0.9, 0.4, 0.6])
+        fpr, tpr, thresholds = roc_curve(labels, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, size=100)
+        labels[:2] = [0, 1]
+        scores = rng.normal(size=100)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_tied_scores_collapse_to_one_point(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert len(fpr) == 2  # origin plus the single collapsed point
+
+
+class TestRates:
+    def test_true_positive_rate(self):
+        scores = np.array([0.1, 0.5, 0.9])
+        assert true_positive_rate(scores, 0.5) == pytest.approx(2 / 3)
+
+    def test_rate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            true_positive_rate(np.array([]), 0.5)
+
+    def test_threshold_at_fpr_respects_budget(self):
+        rng = np.random.default_rng(3)
+        negatives = rng.normal(size=1000)
+        for target in (0.0, 0.01, 0.059, 0.25, 1.0):
+            threshold = threshold_at_fpr(negatives, target)
+            achieved = (negatives >= threshold).mean()
+            assert achieved <= target + 1e-12
+
+    def test_threshold_at_fpr_is_tight(self):
+        negatives = np.arange(100.0)
+        threshold = threshold_at_fpr(negatives, 0.10)
+        achieved = (negatives >= threshold).mean()
+        assert achieved == pytest.approx(0.10, abs=0.011)
+
+    def test_threshold_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            threshold_at_fpr(np.array([1.0]), 1.5)
+        with pytest.raises(ValueError):
+            threshold_at_fpr(np.array([]), 0.5)
+
+
+class TestMetricsProperties:
+    def test_auc_invariant_under_monotone_transform(self):
+        rng = np.random.default_rng(4)
+        labels = rng.integers(0, 2, size=200)
+        labels[:2] = [0, 1]
+        scores = rng.normal(size=200)
+        base = roc_auc_score(labels, scores)
+        assert roc_auc_score(labels, np.exp(scores)) == pytest.approx(base)
+        assert roc_auc_score(labels, 3 * scores + 7) == pytest.approx(base)
+
+    def test_auc_complement_symmetry(self):
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, 2, size=200)
+        labels[:2] = [0, 1]
+        scores = rng.normal(size=200)
+        assert roc_auc_score(labels, scores) == pytest.approx(
+            1.0 - roc_auc_score(labels, -scores)
+        )
+        assert roc_auc_score(labels, scores) == pytest.approx(
+            1.0 - roc_auc_score(1 - labels, scores)
+        )

@@ -1,0 +1,57 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.bootstrap import bootstrap_auc
+
+
+def scored_sample(separation=2.0, n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    scores = np.concatenate(
+        [rng.normal(0, 1, n), rng.normal(separation, 1, n)]
+    )
+    labels = np.concatenate([np.zeros(n), np.ones(n)])
+    return labels, scores
+
+
+class TestBootstrapAuc:
+    def test_interval_contains_estimate(self):
+        labels, scores = scored_sample()
+        result = bootstrap_auc(labels, scores, resamples=200)
+        assert result.lower <= result.estimate <= result.upper
+
+    def test_interval_within_unit_range(self):
+        labels, scores = scored_sample(separation=5.0)
+        result = bootstrap_auc(labels, scores, resamples=200)
+        assert 0.0 <= result.lower <= result.upper <= 1.0
+
+    def test_wider_interval_for_smaller_samples(self):
+        big = bootstrap_auc(*scored_sample(n=400, seed=1), resamples=300)
+        small = bootstrap_auc(*scored_sample(n=25, seed=1), resamples=300)
+        assert (small.upper - small.lower) > (big.upper - big.lower)
+
+    def test_deterministic_given_seed(self):
+        labels, scores = scored_sample()
+        a = bootstrap_auc(labels, scores, resamples=100, rng=5)
+        b = bootstrap_auc(labels, scores, resamples=100, rng=5)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_parameter_validation(self):
+        labels, scores = scored_sample()
+        with pytest.raises(ValueError):
+            bootstrap_auc(labels, scores, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_auc(labels, scores, resamples=5)
+
+    def test_repr_format(self):
+        labels, scores = scored_sample()
+        result = bootstrap_auc(labels, scores, resamples=50)
+        assert "[" in repr(result) and "@95%" in repr(result)
+
+    def test_random_scores_interval_straddles_half(self):
+        rng = np.random.default_rng(9)
+        labels = np.concatenate([np.zeros(250), np.ones(250)])
+        scores = rng.random(500)
+        result = bootstrap_auc(labels, scores, resamples=400)
+        assert result.lower < 0.5 < result.upper

@@ -1,0 +1,87 @@
+"""Tests for conv, pooling, and batch-norm layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool2d, MaxPool2d
+
+
+class TestConv2d:
+    def test_shape_with_padding(self):
+        layer = Conv2d(3, 8, kernel=3, pad=1, rng=0)
+        out = layer(Tensor(np.zeros((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_no_bias_option(self):
+        layer = Conv2d(1, 2, kernel=3, bias=False)
+        assert layer.bias is None
+        names = [n for n, _ in layer.named_parameters()]
+        assert names == ["weight"]
+
+    def test_deterministic_given_seed(self):
+        a = Conv2d(1, 2, kernel=3, rng=42)
+        b = Conv2d(1, 2, kernel=3, rng=42)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_gradients_reach_weights(self):
+        layer = Conv2d(1, 2, kernel=2, rng=0)
+        out = layer(Tensor(np.ones((1, 1, 4, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_repr(self):
+        assert "3 -> 8" in repr(Conv2d(3, 8, kernel=3))
+
+
+class TestPoolingLayers:
+    def test_max_pool_shape(self):
+        out = MaxPool2d(2)(Tensor(np.zeros((1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_avg_pool_shape(self):
+        out = AvgPool2d(2)(Tensor(np.zeros((1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_global_avg_pool_shape(self):
+        out = GlobalAvgPool2d()(Tensor(np.zeros((3, 5, 4, 4))))
+        assert out.shape == (3, 5)
+
+    def test_max_dominates_avg(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 2, 6, 6)))
+        assert np.all(MaxPool2d(2)(x).data >= AvgPool2d(2)(x).data)
+
+
+class TestBatchNorm2d:
+    def test_training_normalises_batch(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(8, 3, 4, 4)))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm2d(2, momentum=0.0)  # running stats = last batch
+        x = Tensor(np.full((4, 2, 3, 3), 5.0) + np.random.default_rng(1).normal(0, 1, (4, 2, 3, 3)))
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, x.data.mean(axis=(0, 2, 3)), atol=1e-6)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(1, momentum=0.0)
+        train_x = Tensor(np.random.default_rng(2).normal(3.0, 2.0, size=(16, 1, 4, 4)))
+        bn(train_x)
+        bn.eval()
+        same = bn(train_x).data
+        np.testing.assert_allclose(same.mean(), 0.0, atol=0.05)
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(2)(Tensor(np.zeros((3, 2))))
+
+    def test_gamma_beta_learnable(self):
+        bn = BatchNorm2d(2)
+        out = bn(Tensor(np.random.default_rng(3).normal(size=(4, 2, 3, 3))))
+        out.sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None

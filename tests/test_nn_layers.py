@@ -1,0 +1,86 @@
+"""Tests for dense/elementwise layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dense, Dropout, Flatten, Identity, ReLU, Softmax, Tanh
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 6, rng=0)
+        out = layer(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 6)
+
+    def test_linear_in_input(self):
+        layer = Dense(3, 2, rng=1)
+        x = np.random.default_rng(0).normal(size=(2, 3))
+        doubled = layer(Tensor(2 * x)).data - layer.bias.data
+        single = layer(Tensor(x)).data - layer.bias.data
+        np.testing.assert_allclose(doubled, 2 * single, atol=1e-6)
+
+    def test_repr(self):
+        assert "4 -> 6" in repr(Dense(4, 6))
+
+    def test_params_are_float32(self):
+        layer = Dense(4, 6, rng=0)
+        assert layer.weight.dtype == np.float32
+        assert layer.bias.dtype == np.float32
+
+
+class TestActivations:
+    def test_relu_module(self):
+        out = ReLU()(Tensor([-1.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_tanh_module(self):
+        out = Tanh()(Tensor([0.0]))
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_softmax_module_normalises(self):
+        out = Softmax()(Tensor(np.zeros((2, 5))))
+        np.testing.assert_allclose(out.data, 0.2)
+
+    def test_identity(self):
+        x = Tensor([1.0])
+        assert Identity()(x) is x
+
+
+class TestFlatten:
+    def test_collapses_trailing_axes(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+
+class TestDropout:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=0)
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(layer(x).data, 1.0)
+
+    def test_training_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).data
+        zero_fraction = (out == 0.0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 2.0)
+
+    def test_rate_zero_is_identity(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.ones((3, 3)))
+        assert layer(x) is x
+
+    def test_expectation_preserved(self):
+        layer = Dropout(0.3, rng=1)
+        x = Tensor(np.ones((200, 200)))
+        assert layer(x).data.mean() == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,104 @@
+"""Tests for Module/Parameter registration and state handling."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import BatchNorm2d, Dense, Module, Parameter, ReLU, Sequential
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Dense(4, 8, rng=0)
+        self.act = ReLU()
+        self.fc2 = Dense(8, 2, rng=1)
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_parameters_recursive(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_children(self):
+        model = TwoLayer()
+        assert len(list(model.children())) == 3
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros(3))
+        assert isinstance(p, Tensor)
+        assert p.requires_grad
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.training
+        assert not model.fc1.training
+        model.train()
+        assert model.fc2.training
+
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert model.fc1.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TwoLayer(), TwoLayer()
+        # Models built from different rng paths differ before loading.
+        b.fc1.weight.data[...] = 0.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b.fc1.weight.data, a.fc1.weight.data)
+
+    def test_missing_key_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state.pop("fc1.bias")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_buffers_included(self):
+        bn = BatchNorm2d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state
+        assert "running_var" in state
+
+    def test_buffer_roundtrip(self):
+        a, b = BatchNorm2d(2), BatchNorm2d(2)
+        a.running_mean[...] = [1.0, 2.0]
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b.running_mean, [1.0, 2.0])
+
+    def test_nested_sequential_state(self):
+        model = Sequential(Dense(2, 3, rng=0), ReLU(), Dense(3, 2, rng=1))
+        state = model.state_dict()
+        assert "layer0.weight" in state
+        assert "layer2.bias" in state

@@ -1,0 +1,64 @@
+"""Tests for the training loop and model serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Trainer, load_state_dict, save_state_dict
+from tests.helpers import easy_image_task, make_tiny_model, train_tiny_model
+
+
+class TestTrainer:
+    def test_length_mismatch_rejected(self):
+        model = make_tiny_model()
+        trainer = Trainer(model, Adam(model.parameters()))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 1, 12, 12)), np.zeros(3, dtype=int), epochs=1)
+
+    def test_loss_decreases(self):
+        model = make_tiny_model(seed=11)
+        x, y = easy_image_task(200, seed=2)
+        trainer = Trainer(model, Adam(model.parameters(), lr=3e-3), batch_size=32, rng=0)
+        report = trainer.fit(x, y, epochs=5)
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_learns_easy_task(self, trained_tiny_model):
+        model, _, _, test_x, test_y = trained_tiny_model
+        accuracy = (model.predict(test_x) == test_y).mean()
+        assert accuracy > 0.9
+
+    def test_evaluate_matches_manual_accuracy(self, trained_tiny_model):
+        model, _, _, test_x, test_y = trained_tiny_model
+        trainer = Trainer(model, Adam(model.parameters()))
+        manual = (model.predict(test_x) == test_y).mean()
+        assert trainer.evaluate(test_x, test_y) == pytest.approx(manual)
+
+    def test_report_final_accuracy_requires_epochs(self):
+        from repro.nn.trainer import TrainingReport
+
+        with pytest.raises(ValueError):
+            TrainingReport().final_accuracy
+
+    def test_deterministic_given_seeds(self):
+        x, y = easy_image_task(100, seed=5)
+        runs = []
+        for _ in range(2):
+            model = make_tiny_model(seed=3)
+            trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), batch_size=32, rng=9)
+            report = trainer.fit(x, y, epochs=2)
+            runs.append(report.epoch_losses)
+        np.testing.assert_allclose(runs[0], runs[1])
+
+
+class TestSerialize:
+    def test_npz_roundtrip(self, tmp_path, trained_tiny_model):
+        model, _, _, test_x, _ = trained_tiny_model
+        path = tmp_path / "model.npz"
+        save_state_dict(model, path)
+
+        clone = make_tiny_model(seed=99)
+        before = clone.predict_proba(test_x[:4])
+        load_state_dict(clone, path)
+        after = clone.predict_proba(test_x[:4])
+        original = model.predict_proba(test_x[:4])
+        assert not np.allclose(before, original)
+        np.testing.assert_allclose(after, original, atol=1e-6)

@@ -1,0 +1,116 @@
+"""Unit tests for experiment result objects (construction + rendering),
+exercised without running the underlying heavy experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure3 import Figure3Result
+from repro.experiments.figure4 import Figure4Result, SweepPoint
+from repro.experiments.table6 import Table6Result
+from repro.experiments.table7 import Table7Result
+from repro.experiments.table8 import AttackCell, Table8Result
+
+
+class TestTable6Result:
+    def make(self):
+        return Table6Result(
+            dataset_name="demo",
+            layer_names=["a", "b"],
+            transformations=["rotation", "scale"],
+            single_auc=np.array([[0.9, 0.8], [0.7, 0.95]]),
+            single_overall=np.array([0.85, 0.83]),
+            joint_auc=np.array([0.92, 0.96]),
+            joint_overall=0.94,
+        )
+
+    def test_best_specific_column_max(self):
+        result = self.make()
+        np.testing.assert_allclose(result.best_specific, [0.9, 0.95])
+
+    def test_best_single_overall(self):
+        assert self.make().best_single_overall == 0.85
+
+    def test_render_contains_rows(self):
+        rendered = self.make().render()
+        assert "single[a]" in rendered
+        assert "joint validator" in rendered
+        assert "best transformation-specific" in rendered
+
+
+class TestTable7Result:
+    def test_auc_lookup(self):
+        result = Table7Result("demo", [("Deep Validation", 0.99), ("KDE", 0.2)])
+        assert result.auc("KDE") == 0.2
+        with pytest.raises(KeyError):
+            result.auc("SVM")
+
+
+class TestTable8Result:
+    def make_cell(self):
+        return AttackCell(
+            attack="FGSM", target_mode="untargeted", success_rate=0.8,
+            dv_auc_sae=0.99, fs_auc_sae=0.98, dv_auc_ae=0.97, fs_auc_ae=0.95,
+        )
+
+    def test_cell_label(self):
+        assert self.make_cell().label == "FGSM/untargeted"
+
+    def test_render_includes_overall(self):
+        result = Table8Result(
+            dataset_name="demo", cells=[self.make_cell()],
+            overall_dv_sae=0.99, overall_fs_sae=0.98,
+            overall_dv_ae=0.97, overall_fs_ae=0.95,
+        )
+        rendered = result.render()
+        assert "OVERALL" in rendered
+        assert "FGSM/untargeted" in rendered
+
+    def test_render_handles_none_cells(self):
+        cell = AttackCell(
+            attack="X", target_mode="LL", success_rate=0.0,
+            dv_auc_sae=None, fs_auc_sae=None, dv_auc_ae=0.5, fs_auc_ae=0.5,
+        )
+        result = Table8Result("demo", [cell])
+        assert "-" in result.render()
+
+
+class TestFigure3Result:
+    def make(self):
+        clean = np.array([-0.5, -0.4, -0.3])
+        scc = np.array([0.3, 0.4, 0.5])
+        edges = np.linspace(-1, 1, 201)
+        return Figure3Result(
+            dataset_name="demo",
+            bin_edges=edges,
+            clean_histogram=np.histogram(clean, bins=edges)[0],
+            scc_histogram=np.histogram(scc, bins=edges)[0],
+            clean_scores=clean,
+            scc_scores=scc,
+            suggested_epsilon=0.0,
+        )
+
+    def test_centroids(self):
+        result = self.make()
+        assert result.clean_centroid == pytest.approx(-0.4)
+        assert result.scc_centroid == pytest.approx(0.4)
+
+    def test_zero_overlap_for_disjoint(self):
+        assert self.make().overlap == 0.0
+
+    def test_render_has_sparklines(self):
+        rendered = self.make().render()
+        assert "legitimate" in rendered
+        assert "SCCs" in rendered
+
+
+class TestFigure4Result:
+    def test_render_with_missing_rates(self):
+        point = SweepPoint(
+            ratio=0.5, success_rate=0.0, scc_count=0,
+            dv_scc_rate=None, dv_fcc_rate=0.1,
+            fs_scc_rate=None, fs_fcc_rate=0.2,
+        )
+        result = Figure4Result("demo", 0.059, [point])
+        rendered = result.render()
+        assert "0.5000" in rendered
+        assert "-" in rendered

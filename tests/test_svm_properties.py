@@ -1,0 +1,52 @@
+"""Property-based tests for the one-class SVM invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.svm import OneClassSVM
+from repro.svm.kernels import RBFKernel
+from repro.svm.oneclass import solve_oneclass_smo
+
+
+class TestDualInvariants:
+    @given(st.integers(0, 10_000), st.floats(0.05, 0.9), st.integers(20, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_constraints_hold_for_random_problems(self, seed, nu, n):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        gram = RBFKernel(0.3)(x, x)
+        result = solve_oneclass_smo(gram, nu=nu)
+        assert result.alpha.sum() == pytest.approx(1.0, abs=1e-9)
+        assert result.alpha.min() >= -1e-12
+        assert result.alpha.max() <= 1.0 / (nu * n) + 1e-9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_nu_property_random_gaussians(self, seed):
+        rng = np.random.default_rng(seed)
+        nu = 0.2
+        x = rng.normal(size=(150, 3)) * rng.uniform(0.5, 2.0)
+        svm = OneClassSVM(nu=nu).fit(x)
+        outliers = (svm.decision_function(x) < 0).mean()
+        # Schölkopf: ν upper-bounds the outlier fraction asymptotically;
+        # allow finite-sample slack.
+        assert outliers <= nu + 0.1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_translation_equivariance_of_rbf_svm(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(60, 2))
+        shift = rng.normal(size=2) * 3.0
+        svm_a = OneClassSVM(nu=0.2, kernel=RBFKernel(0.5)).fit(x)
+        svm_b = OneClassSVM(nu=0.2, kernel=RBFKernel(0.5)).fit(x + shift)
+        queries = rng.normal(size=(10, 2))
+        # Equal up to the SMO solver's KKT tolerance.
+        np.testing.assert_allclose(
+            svm_a.decision_function(queries),
+            svm_b.decision_function(queries + shift),
+            atol=1e-3,
+            rtol=0,
+        )

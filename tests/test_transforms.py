@@ -1,0 +1,176 @@
+"""Tests for the image-transformation subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.transforms import (
+    Brightness,
+    Complement,
+    Compose,
+    Contrast,
+    Rotation,
+    Scale,
+    Shear,
+    Translation,
+    adjust_brightness,
+    adjust_contrast,
+    complement,
+    rotation_matrix,
+    scale_matrix,
+    shear_matrix,
+    translation_matrix,
+    warp_affine,
+)
+
+
+def centered_dot(size=15):
+    """Single bright pixel off-centre on a (1, size, size) image."""
+    image = np.zeros((1, size, size))
+    image[0, 3, 4] = 1.0
+    return image
+
+
+class TestMatrices:
+    def test_rotation_zero_is_identity(self):
+        np.testing.assert_allclose(rotation_matrix(0.0), np.eye(3), atol=1e-12)
+
+    def test_rotation_orthonormal(self):
+        m = rotation_matrix(33.0)[:2, :2]
+        np.testing.assert_allclose(m @ m.T, np.eye(2), atol=1e-12)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_matrix(0.0, 1.0)
+
+    def test_translation_matrix_form(self):
+        m = translation_matrix(2.0, -3.0)
+        np.testing.assert_allclose(m[:2, 2], [2.0, -3.0])
+
+    def test_shear_matrix_form(self):
+        m = shear_matrix(0.2, 0.4)
+        assert m[0, 1] == 0.2
+        assert m[1, 0] == 0.4
+
+
+class TestWarpAffine:
+    def test_identity_preserves_image(self):
+        image = np.random.default_rng(0).random((1, 9, 9))
+        out = warp_affine(image, np.eye(3))
+        np.testing.assert_allclose(out, image, atol=1e-10)
+
+    def test_batch_and_single_layouts_agree(self):
+        rng = np.random.default_rng(1)
+        batch = rng.random((3, 2, 8, 8))
+        m = rotation_matrix(20.0)
+        together = warp_affine(batch, m)
+        separate = np.stack([warp_affine(batch[i], m) for i in range(3)])
+        np.testing.assert_allclose(together, separate)
+
+    def test_invalid_matrix_shape(self):
+        with pytest.raises(ValueError):
+            warp_affine(np.zeros((1, 4, 4)), np.eye(2))
+
+    def test_invalid_image_rank(self):
+        with pytest.raises(ValueError):
+            warp_affine(np.zeros((4, 4)), np.eye(3))
+
+    def test_translation_moves_content(self):
+        image = centered_dot()
+        out = warp_affine(image, translation_matrix(2.0, 0.0))
+        assert out[0, 3, 6] == pytest.approx(1.0, abs=1e-9)
+        assert out[0, 3, 4] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rotation_180_flips_both_axes(self):
+        image = np.zeros((1, 5, 5))
+        image[0, 0, 0] = 1.0
+        out = warp_affine(image, rotation_matrix(180.0))
+        assert out[0, 4, 4] == pytest.approx(1.0, abs=1e-9)
+
+    def test_four_quarter_turns_identity(self):
+        image = np.random.default_rng(2).random((1, 7, 7))
+        out = image
+        for _ in range(4):
+            out = warp_affine(out, rotation_matrix(90.0))
+        np.testing.assert_allclose(out, image, atol=1e-9)
+
+    def test_out_of_bounds_reads_fill(self):
+        image = np.ones((1, 5, 5))
+        out = warp_affine(image, translation_matrix(3.0, 0.0), fill=0.0)
+        assert out[0, 2, 0] == 0.0  # vacated area filled with zeros
+
+    def test_scale_down_shrinks_support(self):
+        image = np.ones((1, 11, 11))
+        out = warp_affine(image, scale_matrix(0.5, 0.5))
+        assert out.sum() < image.sum()
+
+    def test_preserves_value_range(self):
+        image = np.random.default_rng(3).random((1, 9, 9))
+        out = warp_affine(image, rotation_matrix(37.0))
+        assert out.min() >= -1e-9
+        assert out.max() <= 1.0 + 1e-9
+
+
+class TestPhotometric:
+    def test_brightness_shifts_and_clips(self):
+        image = np.array([[[0.2, 0.9]]])
+        np.testing.assert_allclose(adjust_brightness(image, 0.3), [[[0.5, 1.0]]])
+        np.testing.assert_allclose(adjust_brightness(image, -0.3), [[[0.0, 0.6]]])
+
+    def test_contrast_scales_and_clips(self):
+        image = np.array([[[0.2, 0.6]]])
+        np.testing.assert_allclose(adjust_contrast(image, 2.0), [[[0.4, 1.0]]])
+
+    def test_contrast_rejects_negative(self):
+        with pytest.raises(ValueError):
+            adjust_contrast(np.zeros((1, 2, 2)), -1.0)
+
+    def test_complement_involution(self):
+        image = np.random.default_rng(4).random((1, 6, 6))
+        np.testing.assert_allclose(complement(complement(image)), image, atol=1e-12)
+
+    def test_complement_rejects_colour(self):
+        with pytest.raises(ValueError):
+            complement(np.zeros((3, 4, 4)))
+        with pytest.raises(ValueError):
+            complement(np.zeros((2, 3, 4, 4)))
+
+    def test_complement_batch_layout(self):
+        batch = np.random.default_rng(5).random((4, 1, 3, 3))
+        np.testing.assert_allclose(complement(batch), 1.0 - batch)
+
+
+class TestTransformObjects:
+    def test_params_recorded(self):
+        assert Rotation(30.0).params == {"theta": 30.0}
+        assert Shear(0.1, 0.2).params == {"sh": 0.1, "sv": 0.2}
+        assert Scale(0.5, 0.6).params == {"sx": 0.5, "sy": 0.6}
+        assert Translation(2, 3).params == {"tx": 2, "ty": 3}
+        assert Brightness(0.4).params == {"beta": 0.4}
+        assert Contrast(2.0).params == {"alpha": 2.0}
+
+    def test_describe_format(self):
+        assert Rotation(30.0).describe() == "rotation(theta=30)"
+
+    def test_callable_matches_functional(self):
+        image = np.random.default_rng(6).random((1, 8, 8))
+        np.testing.assert_allclose(Brightness(0.2)(image), adjust_brightness(image, 0.2))
+
+    def test_compose_order_matters(self):
+        image = np.random.default_rng(7).random((1, 8, 8))
+        bc = Compose([Brightness(0.5), Contrast(2.0)])(image)
+        cb = Compose([Contrast(2.0), Brightness(0.5)])(image)
+        assert not np.allclose(bc, cb)
+
+    def test_compose_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Compose([])
+
+    def test_compose_params_namespaced(self):
+        composed = Compose([Rotation(10.0), Scale(0.5, 0.5)])
+        assert "rotation.theta" in composed.params
+        assert "scale.sx" in composed.params
+
+    def test_compose_name_and_describe(self):
+        composed = Compose([Rotation(10.0), Scale(0.5, 0.5)])
+        assert composed.name == "rotation+scale"
+        assert "->" in composed.describe()

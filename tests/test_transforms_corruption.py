@@ -1,0 +1,121 @@
+"""Tests for the beyond-paper corruption transforms."""
+
+import numpy as np
+import pytest
+
+from repro.transforms import (
+    CORRUPTION_BATTERY,
+    Fog,
+    GaussianBlur,
+    GaussianNoise,
+    Occlusion,
+)
+
+
+@pytest.fixture
+def image():
+    rng = np.random.default_rng(0)
+    return rng.random((1, 16, 16))
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(1)
+    return rng.random((4, 3, 16, 16))
+
+
+class TestGaussianBlur:
+    def test_reduces_variance(self, image):
+        assert GaussianBlur(1.5)(image).std() < image.std()
+
+    def test_zero_sigma_is_identity(self, image):
+        np.testing.assert_allclose(GaussianBlur(0.0)(image), image)
+
+    def test_negative_sigma_rejected(self, image):
+        with pytest.raises(ValueError):
+            GaussianBlur(-1.0)(image)
+
+    def test_preserves_mean_roughly(self, image):
+        assert GaussianBlur(2.0)(image).mean() == pytest.approx(image.mean(), abs=0.05)
+
+    def test_batch_layout(self, batch):
+        out = GaussianBlur(1.0)(batch)
+        assert out.shape == batch.shape
+
+
+class TestGaussianNoise:
+    def test_changes_image_within_bounds(self, image):
+        out = GaussianNoise(0.2, seed=3)(image)
+        assert not np.allclose(out, image)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_seeded_replay(self, image):
+        np.testing.assert_allclose(
+            GaussianNoise(0.2, seed=5)(image), GaussianNoise(0.2, seed=5)(image)
+        )
+
+    def test_zero_sigma_identity(self, image):
+        np.testing.assert_allclose(GaussianNoise(0.0)(image), image)
+
+    def test_negative_sigma_rejected(self, image):
+        with pytest.raises(ValueError):
+            GaussianNoise(-0.1)(image)
+
+
+class TestOcclusion:
+    def test_square_of_constant_value(self, image):
+        out = Occlusion(5, value=0.5, seed=0)(image)
+        occluded = np.isclose(out, 0.5)
+        assert occluded.sum() >= 25  # at least the square (plus luck)
+
+    def test_does_not_mutate_input(self, image):
+        copy = image.copy()
+        Occlusion(5)(image)
+        np.testing.assert_allclose(image, copy)
+
+    def test_size_validation(self, image):
+        with pytest.raises(ValueError):
+            Occlusion(0)(image)
+        with pytest.raises(ValueError):
+            Occlusion(16)(image)
+
+    def test_batch_gets_varied_positions(self, batch):
+        out = Occlusion(5, value=-1.0, seed=7)(np.clip(batch, 0.2, 1.0))
+        positions = []
+        for img in out:
+            ys, xs = np.where(np.isclose(img[0], -1.0))
+            positions.append((ys.min(), xs.min()))
+        assert len(set(positions)) > 1
+
+
+class TestFog:
+    def test_brightens_image(self, image):
+        out = Fog(0.7, seed=0)(image * 0.3)
+        assert out.mean() > (image * 0.3).mean()
+
+    def test_density_validation(self, image):
+        with pytest.raises(ValueError):
+            Fog(1.5)(image)
+
+    def test_zero_density_identity(self, image):
+        np.testing.assert_allclose(Fog(0.0)(image), image, atol=1e-12)
+
+    def test_output_bounds(self, batch):
+        out = Fog(0.9, seed=1)(batch)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestBattery:
+    def test_battery_members_have_params(self):
+        for transform in CORRUPTION_BATTERY:
+            assert transform.params
+            assert transform.describe()
+
+    def test_battery_corrupts_and_detector_flags(self, mnist_context):
+        """Extension claim: unseen corruption families are still flagged."""
+        validator = mnist_context.validator
+        seeds = mnist_context.suite.seeds[:60]
+        clean_mean = validator.joint_discrepancy(seeds).mean()
+        for transform in CORRUPTION_BATTERY:
+            corrupted = transform(seeds)
+            assert validator.joint_discrepancy(corrupted).mean() > clean_mean

@@ -1,0 +1,84 @@
+"""Property-based tests for image transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms import (
+    adjust_brightness,
+    adjust_contrast,
+    complement,
+    rotation_matrix,
+    translation_matrix,
+    warp_affine,
+)
+
+
+@st.composite
+def grey_image(draw):
+    seed = draw(st.integers(0, 10_000))
+    size = draw(st.integers(5, 12))
+    return np.random.default_rng(seed).random((1, size, size))
+
+
+class TestPhotometricProperties:
+    @given(grey_image(), st.floats(-1.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_brightness_stays_in_unit_box(self, image, beta):
+        out = adjust_brightness(image, beta)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    @given(grey_image(), st.floats(0.0, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_contrast_stays_in_unit_box(self, image, alpha):
+        out = adjust_contrast(image, alpha)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    @given(grey_image(), st.floats(-0.5, 0.5), st.floats(-0.5, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_brightness_monotone_in_beta(self, image, beta1, beta2):
+        low, high = min(beta1, beta2), max(beta1, beta2)
+        assert np.all(adjust_brightness(image, low) <= adjust_brightness(image, high) + 1e-12)
+
+    @given(grey_image())
+    @settings(max_examples=30, deadline=None)
+    def test_complement_is_involution(self, image):
+        np.testing.assert_allclose(complement(complement(image)), image, atol=1e-12)
+
+    @given(grey_image())
+    @settings(max_examples=30, deadline=None)
+    def test_complement_preserves_total_with_sum(self, image):
+        out = complement(image)
+        np.testing.assert_allclose(out + image, 1.0, atol=1e-12)
+
+
+class TestAffineProperties:
+    @given(grey_image(), st.floats(-180.0, 180.0))
+    @settings(max_examples=30, deadline=None)
+    def test_rotation_never_increases_mass(self, image, theta):
+        # Bilinear warp with zero fill can only lose mass off the edges.
+        out = warp_affine(image, rotation_matrix(theta))
+        assert out.sum() <= image.sum() + 1e-6
+
+    @given(grey_image(), st.integers(-3, 3), st.integers(-3, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_roundtrip_recovers_interior(self, image, tx, ty):
+        # Integer shifts only: fractional bilinear resampling blurs and is
+        # not exactly invertible.
+        forward = warp_affine(image, translation_matrix(tx, ty))
+        back = warp_affine(forward, translation_matrix(-tx, -ty))
+        size = image.shape[-1]
+        margin = int(np.ceil(max(abs(tx), abs(ty)))) + 1
+        if 2 * margin >= size:
+            return
+        interior = (slice(None), slice(margin, size - margin), slice(margin, size - margin))
+        np.testing.assert_allclose(back[interior], image[interior], atol=1e-7)
+
+    @given(grey_image(), st.floats(-60.0, 60.0))
+    @settings(max_examples=30, deadline=None)
+    def test_warp_output_in_convex_hull_of_inputs(self, image, theta):
+        out = warp_affine(image, rotation_matrix(theta))
+        assert out.min() >= -1e-9
+        assert out.max() <= image.max() + 1e-9

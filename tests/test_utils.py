@@ -1,0 +1,128 @@
+"""Tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ArtifactCache,
+    check_positive,
+    check_probability,
+    check_shape,
+    format_table,
+    new_rng,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_new_rng_from_int_deterministic(self):
+        assert new_rng(5).random() == new_rng(5).random()
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_spawn_rngs_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rngs(7, 3)]
+        b = [g.random() for g in spawn_rngs(7, 3)]
+        assert a == b
+
+
+class TestCache:
+    def test_get_or_build_builds_once(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": 42}
+
+        first = cache.get_or_build("thing", {"a": 1}, build)
+        second = cache.get_or_build("thing", {"a": 1}, build)
+        assert first == second == {"x": 42}
+        assert len(calls) == 1
+
+    def test_different_configs_different_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("thing", {"a": 1}, "one")
+        cache.store("thing", {"a": 2}, "two")
+        assert cache.load("thing", {"a": 1}) == "one"
+        assert cache.load("thing", {"a": 2}) == "two"
+
+    def test_contains(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert not cache.contains("x", {})
+        cache.store("x", {}, 1)
+        assert cache.contains("x", {})
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("x", {}, 1)
+        cache.store("y", {}, 2)
+        assert cache.clear() == 2
+        assert not cache.contains("x", {})
+
+    def test_numpy_values_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        value = np.arange(10.0)
+        cache.store("arr", {"k": 1}, value)
+        np.testing.assert_allclose(cache.load("arr", {"k": 1}), value)
+
+    def test_config_key_order_irrelevant(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.path_for("n", {"a": 1, "b": 2}) == cache.path_for("n", {"b": 2, "a": 1})
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        table = format_table(["A", "B"], [[1, 2.5], ["x", None]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "2.5000" in table
+        assert "-" in lines[-1]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["A"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["A", "B"], [])
+        assert "A" in table
+
+
+class TestValidationHelpers:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_check_probability(self):
+        check_probability("p", 0.5)
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                check_probability("p", bad)
+
+    def test_check_shape(self):
+        check_shape("a", np.zeros((2, 3)), (2, 3))
+        check_shape("a", np.zeros((2, 3)), (None, 3))
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros((2, 3)), (3, 3))
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros((2, 3)), (2, 3, 1))

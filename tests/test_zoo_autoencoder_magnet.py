@@ -1,0 +1,103 @@
+"""Tests for the autoencoder substrate and the MagNet detector."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.detect import MagNetDetector
+from repro.detect.magnet import _jensen_shannon
+from repro.zoo.autoencoder import ConvAutoencoder, train_autoencoder
+
+
+class TestConvAutoencoder:
+    def test_output_shape_and_range(self):
+        auto = ConvAutoencoder(channels=1, hidden=4, rng=0)
+        x = Tensor(np.random.default_rng(0).random((2, 1, 12, 12)).astype(np.float32))
+        out = auto(x)
+        assert out.shape == (2, 1, 12, 12)
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_colour_channels(self):
+        auto = ConvAutoencoder(channels=3, hidden=4, rng=0)
+        x = Tensor(np.random.default_rng(1).random((2, 3, 16, 16)).astype(np.float32))
+        assert auto(x).shape == (2, 3, 16, 16)
+
+    def test_training_reduces_reconstruction_error(self):
+        rng = np.random.default_rng(2)
+        # Structured data: soft blobs, learnable by a tiny autoencoder.
+        base = rng.random((120, 1, 12, 12))
+        from scipy.ndimage import gaussian_filter
+
+        images = gaussian_filter(base, sigma=(0, 0, 2, 2))
+        images = images / images.max()
+        auto = ConvAutoencoder(channels=1, hidden=6, rng=0)
+        history = train_autoencoder(auto, images, epochs=5, rng=0)
+        assert history[-1] < history[0]
+
+    def test_reconstruct_batched(self):
+        auto = ConvAutoencoder(channels=1, hidden=4, rng=0)
+        images = np.random.default_rng(3).random((7, 1, 12, 12))
+        np.testing.assert_allclose(
+            auto.reconstruct(images, batch_size=3),
+            auto.reconstruct(images, batch_size=100),
+            atol=1e-6,
+        )
+
+
+class TestJensenShannon:
+    def test_zero_for_identical(self):
+        p = np.array([[0.2, 0.8], [0.5, 0.5]])
+        np.testing.assert_allclose(_jensen_shannon(p, p), 0.0, atol=1e-12)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(4)
+        p = rng.dirichlet(np.ones(5), size=10)
+        q = rng.dirichlet(np.ones(5), size=10)
+        np.testing.assert_allclose(_jensen_shannon(p, q), _jensen_shannon(q, p))
+
+    def test_bounded_by_log2(self):
+        p = np.array([[1.0, 0.0]])
+        q = np.array([[0.0, 1.0]])
+        assert _jensen_shannon(p, q)[0] <= np.log(2) + 1e-12
+
+
+class TestMagNetDetector:
+    def test_invalid_mode(self, mnist_context):
+        with pytest.raises(ValueError):
+            MagNetDetector(mnist_context.model, mode="reform")
+
+    def test_unfitted_raises(self, mnist_context):
+        with pytest.raises(RuntimeError):
+            MagNetDetector(mnist_context.model).score(np.zeros((1, 1, 28, 28)))
+
+    @pytest.fixture(scope="class")
+    def fitted(self, mnist_context):
+        # Enough epochs that the autoencoder reconstructs the mostly-black
+        # digit images faithfully; undertrained autoencoders invert the
+        # reconstruction-error signal.
+        detector = MagNetDetector(mnist_context.model, hidden=8, epochs=6)
+        dataset = mnist_context.dataset
+        return detector.fit(dataset.train_images[:500], dataset.train_labels[:500])
+
+    def test_noise_scores_above_clean(self, fitted, mnist_context):
+        clean = fitted.score(mnist_context.clean_images[:30])
+        noisy = fitted.score(
+            np.clip(
+                mnist_context.clean_images[:30]
+                + np.random.default_rng(0).normal(0, 0.4, (30, 1, 28, 28)),
+                0,
+                1,
+            )
+        )
+        assert noisy.mean() > clean.mean()
+
+    def test_modes_give_different_scores(self, fitted, mnist_context):
+        images = mnist_context.clean_images[:10]
+        fitted.mode = "error"
+        error = fitted.score(images)
+        fitted.mode = "divergence"
+        divergence = fitted.score(images)
+        fitted.mode = "both"
+        combined = fitted.score(images)
+        assert not np.allclose(error, divergence)
+        np.testing.assert_allclose(combined, np.maximum(error, divergence))

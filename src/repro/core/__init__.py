@@ -9,6 +9,7 @@ the unweighted sum over layers is the joint discrepancy used to flag
 error-inducing corner cases.
 """
 
+from repro.core.engine import ValidationEngine
 from repro.core.validator import DeepValidator, LayerValidator, ValidatorConfig
 from repro.core.thresholds import centroid_threshold, fpr_calibrated_threshold
 from repro.core.monitor import RuntimeMonitor, ValidationVerdict
@@ -30,6 +31,7 @@ from repro.core.calibration import (
 )
 
 __all__ = [
+    "ValidationEngine",
     "DeepValidator",
     "LayerValidator",
     "ValidatorConfig",

@@ -55,11 +55,17 @@ class RuntimeMonitor:
         self.stats = {"accepted": 0, "rejected": 0}
 
     def classify(self, images: np.ndarray) -> list[ValidationVerdict]:
-        """Classify a batch, validating every internal state (Figure 1)."""
+        """Classify a batch, validating every internal state (Figure 1).
+
+        Scoring goes through the batched
+        :class:`~repro.core.engine.ValidationEngine`, so monitoring
+        traffic pays one stacked kernel evaluation per layer regardless of
+        batch size, and replayed windows hit the engine's score cache.
+        """
         images = np.asarray(images)
         if images.ndim == 3:
             images = images[None]
-        predictions, per_layer = self.validator.discrepancies(images)
+        predictions, per_layer = self.validator.engine().discrepancies(images)
         joints = self.validator.combine(per_layer)
         verdicts = []
         for prediction, row, joint in zip(predictions, per_layer, joints):

@@ -15,8 +15,12 @@ import numpy as np
 
 from repro.nn.sequential import ProbedSequential
 from repro.svm.oneclass import OneClassSVM
+from repro.svm.packed import PackedClassSVMs, pack_class_svms
 from repro.svm.scaler import StandardScaler
 from repro.utils.rng import RngLike, new_rng
+
+#: Sentinel distinguishing "pack not yet attempted" from "unpackable".
+_PACK_UNSET = object()
 
 
 @dataclass
@@ -87,6 +91,7 @@ class LayerValidator:
         labels = np.asarray(labels)
         if len(representations) != len(labels):
             raise ValueError("representations and labels must have equal length")
+        self.__dict__.pop("_pack", None)  # refitting invalidates the packed scorer
         if not self.config.per_class:
             # Ablation: one class-agnostic reference distribution per layer.
             labels = np.zeros(len(labels), dtype=np.int64)
@@ -133,6 +138,63 @@ class LayerValidator:
                 features = self._scalers[klass].transform(features)
             values[rows] = -self._svms[klass].signed_distance(features)
         return values
+
+    # -- batched scoring -------------------------------------------------------
+
+    def packed(self) -> PackedClassSVMs | None:
+        """The stacked scorer for this layer, or ``None`` if unpackable.
+
+        Built lazily from the fitted per-class SVMs and cached on the
+        instance; dropped on refit and excluded from pickles (old cached
+        validators re-pack transparently on first batched call). Custom
+        kernel objects the packer does not understand yield ``None`` and
+        the batched path falls back to the reference loop.
+        """
+        if not self._svms:
+            raise RuntimeError("LayerValidator is not fitted")
+        pack = self.__dict__.get("_pack", _PACK_UNSET)
+        if pack is _PACK_UNSET:
+            try:
+                pack = pack_class_svms(
+                    self._svms, self._scalers if self.config.standardize else None
+                )
+            except ValueError:
+                pack = None
+            self.__dict__["_pack"] = pack
+        return pack
+
+    def discrepancy_batched(
+        self,
+        representations: np.ndarray,
+        predicted: np.ndarray,
+        chunk_size: int | None = None,
+    ) -> np.ndarray:
+        """Per-sample discrepancy via the stacked multi-class scorer.
+
+        Numerically equivalent to :meth:`discrepancy` (the differential
+        harness pins agreement at 1e-8) but evaluates one Gram block
+        against every class's support vectors at once instead of looping
+        over predicted-class groups. ``chunk_size`` bounds the transient
+        kernel block's row count.
+        """
+        pack = self.packed()
+        if pack is None:
+            return self.discrepancy(representations, predicted)
+        representations = np.asarray(representations, dtype=np.float64)
+        predicted = np.asarray(predicted)
+        if not self.config.per_class:
+            predicted = np.zeros(len(predicted), dtype=np.int64)
+        try:
+            return pack.discrepancy(representations, predicted, chunk_size=chunk_size)
+        except KeyError as exc:
+            raise KeyError(
+                f"{exc.args[0]} in layer {self.layer_name!r}"
+            ) from None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_pack", None)
+        return state
 
 
 @dataclass
@@ -187,6 +249,7 @@ class DeepValidator:
 
     def fit(self, train_images: np.ndarray, train_labels: np.ndarray) -> "DeepValidator":
         """Fit per-layer validators on correctly classified training images."""
+        self.__dict__.pop("_engine", None)  # refitting invalidates the engine
         train_labels = np.asarray(train_labels)
         predictions = self.model.predict(train_images)
         keep = predictions == train_labels
@@ -217,10 +280,15 @@ class DeepValidator:
     # -- Algorithm 2 -----------------------------------------------------------
 
     def discrepancies(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Per-layer discrepancies for a batch.
+        """Per-layer discrepancies for a batch (reference path).
 
         Returns ``(predictions, D)`` with ``D`` of shape
         ``(len(images), len(validated layers))``.
+
+        This is the paper-faithful per-class-loop implementation and the
+        ground truth the differential test harness checks the batched
+        engine against; hot callers should go through :meth:`engine`
+        instead.
         """
         self._check_fitted()
         probabilities, representations = self.model.hidden_representations(images)
@@ -249,6 +317,31 @@ class DeepValidator:
         return per_layer[:, -1]  # "last"
 
     # -- deployment ------------------------------------------------------------
+
+    def engine(self, chunk_size: int = 256, cache_size: int = 32):
+        """The batched :class:`~repro.core.engine.ValidationEngine` view.
+
+        Built lazily, cached on the instance, dropped on refit and excluded
+        from pickles — validators restored from old artifact caches grow an
+        engine transparently on first use. Requesting different
+        ``chunk_size``/``cache_size`` rebuilds the engine.
+        """
+        from repro.core.engine import ValidationEngine
+
+        cached = self.__dict__.get("_engine")
+        if (
+            cached is None
+            or cached.chunk_size != chunk_size
+            or cached.cache.maxsize != cache_size
+        ):
+            cached = ValidationEngine(self, chunk_size=chunk_size, cache_size=cache_size)
+            self.__dict__["_engine"] = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_engine", None)
+        return state
 
     def calibrate_threshold(
         self, clean_images: np.ndarray, corner_images: np.ndarray

@@ -9,6 +9,7 @@ drop-in replacement for the scikit-learn implementation the paper used.
 
 from repro.svm.kernels import Kernel, LinearKernel, PolynomialKernel, RBFKernel, make_kernel
 from repro.svm.oneclass import OneClassSVM
+from repro.svm.packed import PackedClassSVMs, pack_class_svms
 from repro.svm.scaler import StandardScaler
 
 __all__ = [
@@ -18,5 +19,7 @@ __all__ = [
     "RBFKernel",
     "make_kernel",
     "OneClassSVM",
+    "PackedClassSVMs",
+    "pack_class_svms",
     "StandardScaler",
 ]

@@ -1,13 +1,15 @@
 """Shared utilities: seeded RNG plumbing, artifact caching, table rendering."""
 
-from repro.utils.cache import ArtifactCache, default_cache
+from repro.utils.cache import ArtifactCache, LRUCache, default_cache, hash_array
 from repro.utils.rng import new_rng, spawn_rngs
 from repro.utils.tables import format_table
 from repro.utils.validation import check_positive, check_probability, check_shape
 
 __all__ = [
     "ArtifactCache",
+    "LRUCache",
     "default_cache",
+    "hash_array",
     "new_rng",
     "spawn_rngs",
     "format_table",

@@ -1,4 +1,4 @@
-"""On-disk artifact cache shared by tests, benchmarks, and examples.
+"""Caching utilities: the on-disk artifact cache and an in-memory LRU.
 
 Training even a small CNN in pure numpy takes tens of seconds, so every
 expensive artifact (trained models, fitted validators, searched corner-case
@@ -6,22 +6,47 @@ suites) is cached on disk keyed by a stable hash of its configuration.
 Entries are pickled; the cache directory defaults to ``.artifacts/`` at the
 repository root and can be relocated with the ``REPRO_CACHE_DIR``
 environment variable.
+
+:class:`LRUCache` is the in-memory counterpart used on hot paths — the
+batched validation engine keys activation/score results on a content hash
+of the input batch so repeated scoring of the same images (threshold
+calibration followed by flagging, monitoring replays) skips the forward
+pass and the kernel evaluations entirely.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import pickle
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Hashable
+
+import json
+
+import numpy as np
 
 
 def _stable_hash(config: Any) -> str:
     """Hash an arbitrary JSON-serialisable config into a short hex key."""
     payload = json.dumps(config, sort_keys=True, default=str).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def hash_array(*arrays: np.ndarray) -> str:
+    """Content hash of one or more arrays, suitable as an LRU cache key.
+
+    Includes shape and dtype so that e.g. a (4, 9) float32 batch and its
+    (36,) flattened view hash differently.
+    """
+    digest = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 class ArtifactCache:
@@ -58,10 +83,28 @@ class ArtifactCache:
             pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
 
+    def discard(self, name: str, config: Any) -> bool:
+        """Remove the entry for (name, config); returns whether one existed."""
+        path = self.path_for(name, config)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
     def get_or_build(self, name: str, config: Any, build: Callable[[], Any]) -> Any:
-        """Return the cached value for ``(name, config)``, building it once."""
+        """Return the cached value for ``(name, config)``, building it once.
+
+        A cache entry that cannot be unpickled — truncated write, foreign
+        file, an artifact pickled against a class that has since changed —
+        is treated as a miss: the entry is discarded and rebuilt rather
+        than poisoning every future run.
+        """
         if self.contains(name, config):
-            return self.load(name, config)
+            try:
+                return self.load(name, config)
+            except (pickle.UnpicklingError, EOFError, AttributeError,
+                    ImportError, IndexError, ValueError):
+                self.discard(name, config)
         value = build()
         self.store(name, config, value)
         return value
@@ -73,6 +116,80 @@ class ArtifactCache:
             path.unlink()
             removed += 1
         return removed
+
+
+class LRUCache:
+    """A bounded in-memory cache with least-recently-used eviction.
+
+    Both reads and writes refresh an entry's recency; once ``maxsize``
+    entries are held, inserting a new key evicts the stalest one. Hit and
+    miss counts are tracked so callers (and tests) can audit cache
+    effectiveness.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does not touch recency or hit/miss counters."""
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, marking it most recently used on a hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def keys(self) -> list[Hashable]:
+        """Keys from least to most recently used."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry; counters are preserved."""
+        self._entries.clear()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction accounting plus current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
 
 
 def default_cache() -> ArtifactCache:

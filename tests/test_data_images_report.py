@@ -72,6 +72,7 @@ class TestGallery:
             assert path.stat().st_size > 0
 
 
+@pytest.mark.slow
 class TestReport:
     def test_build_report_contains_all_tables(self, mnist_context, svhn_context, cifar_context):
         from repro.experiments.report import build_report

@@ -48,6 +48,7 @@ class TestExamples:
         with pytest.raises(SystemExit):
             run_example("distortion_sensitivity.py", ["teleport"])
 
+    @pytest.mark.slow
     def test_export_artifacts(self, tmp_path, capsys):
         run_example("export_artifacts.py", [str(tmp_path / "out")])
         out = capsys.readouterr().out

@@ -5,10 +5,12 @@ import pytest
 
 from repro.utils import (
     ArtifactCache,
+    LRUCache,
     check_positive,
     check_probability,
     check_shape,
     format_table,
+    hash_array,
     new_rng,
     spawn_rngs,
 )
@@ -88,6 +90,121 @@ class TestCache:
     def test_config_key_order_irrelevant(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         assert cache.path_for("n", {"a": 1, "b": 2}) == cache.path_for("n", {"b": 2, "a": 1})
+
+    def test_corrupt_entry_rebuilt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.path_for("thing", {"a": 1}).write_bytes(b"\x05not a pickle")
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "rebuilt"
+
+        assert cache.get_or_build("thing", {"a": 1}, build) == "rebuilt"
+        assert calls == [1]
+        # The rebuilt value replaced the corrupt file and loads cleanly now.
+        assert cache.get_or_build("thing", {"a": 1}, build) == "rebuilt"
+        assert calls == [1]
+
+    def test_truncated_entry_rebuilt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("thing", {}, list(range(100)))
+        path = cache.path_for("thing", {})
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get_or_build("thing", {}, lambda: "fresh") == "fresh"
+
+    def test_discard(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert not cache.discard("x", {})
+        cache.store("x", {}, 1)
+        assert cache.discard("x", {})
+        assert not cache.contains("x", {})
+
+
+class TestLRUCache:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(maxsize=3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        cache.get("a")  # refresh: now b is the stalest entry
+        cache.put("d", "D")
+        assert "b" not in cache
+        assert cache.keys() == ["c", "a", "d"]
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite refreshes; b becomes the LRU entry
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("missing") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.get_or_compute("k", lambda: 0) == 42
+        assert cache.get_or_compute("fresh", lambda: 7) == 7
+        assert cache.stats == {
+            "hits": 2, "misses": 2, "evictions": 0, "size": 2, "maxsize": 4,
+        }
+
+    def test_get_or_compute_computes_once(self):
+        cache = LRUCache(maxsize=2)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert calls == [1]
+
+    def test_contains_does_not_touch_counters_or_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache and "z" not in cache
+        cache.put("c", 3)  # "a" is still the LRU entry despite the probe
+        assert "a" not in cache
+        assert cache.stats["hits"] == 0 and cache.stats["misses"] == 0
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+
+class TestHashArray:
+    def test_content_sensitivity(self):
+        a = np.arange(6.0)
+        assert hash_array(a) == hash_array(a.copy())
+        assert hash_array(a) != hash_array(a + 1)
+
+    def test_shape_and_dtype_sensitivity(self):
+        a = np.arange(6.0)
+        assert hash_array(a) != hash_array(a.reshape(2, 3))
+        assert hash_array(a) != hash_array(a.astype(np.float32))
+
+    def test_multiple_arrays(self):
+        a, b = np.arange(3.0), np.arange(4.0)
+        assert hash_array(a, b) != hash_array(b, a)
+
+    def test_non_contiguous_view_hashes_like_its_copy(self):
+        a = np.arange(12.0).reshape(3, 4)
+        view = a[:, ::2]
+        assert hash_array(view) == hash_array(view.copy())
 
 
 class TestTables:

@@ -1,0 +1,138 @@
+"""Benchmark: parallel task-graph fitting vs the serial Algorithm 1 loop.
+
+Measures wall-clock for fitting a 2-layer, 10-class workload through the
+fitting pipeline with ``n_jobs=1`` (the exact serial math in-process)
+versus ``n_jobs=<cores>`` (the multiprocessing task graph), plus the
+end-to-end ``DeepValidator.fit`` time on the tiny trained model. Results
+are recorded to ``BENCH_fit.json`` at the repository root so the fit-time
+trajectory is tracked across PRs.
+
+The ``>= 2x`` speedup assertion only applies on multi-core runners: with a
+single usable core the pool adds fork/pickle overhead and can't win, so
+the record notes the core count and the assertion is skipped.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_fit.py -m bench -q
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_validators_from_arrays, resolve_n_jobs
+from repro.core.validator import DeepValidator, ValidatorConfig
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LAYERS = 2
+CLASSES = 10
+PER_CLASS = 1500
+DIMS = (128, 128)
+MAX_PER_CLASS = 1500
+NU = 0.5  # half the mass at the bound: realistic SMO iteration counts
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _workload():
+    rng = np.random.default_rng(0)
+    labels = np.repeat(np.arange(CLASSES), PER_CLASS)
+    rng.shuffle(labels)
+    reps = [
+        rng.normal(loc=labels[:, None] * 0.3, scale=1.0, size=(len(labels), dim))
+        for dim in DIMS
+    ]
+    return reps, labels
+
+
+def _solve_stage() -> dict:
+    reps, labels = _workload()
+    config = ValidatorConfig(nu=NU, max_per_class=MAX_PER_CLASS)
+    # Exercise the pool even on narrow runners so the record always shows
+    # real task-graph dispatch cost; the speedup bar stays core-gated.
+    jobs = max(2, resolve_n_jobs(-1))
+
+    serial_sec = _best_seconds(
+        lambda: fit_validators_from_arrays(reps, labels, [0, 1], config, n_jobs=1),
+        repeats=2,
+    )
+    parallel_sec = _best_seconds(
+        lambda: fit_validators_from_arrays(reps, labels, [0, 1], config, n_jobs=jobs),
+        repeats=2,
+    )
+
+    # Equivalence guard so the timing compares identical work.
+    serial = fit_validators_from_arrays(reps, labels, [0, 1], config, n_jobs=1)
+    parallel = fit_validators_from_arrays(reps, labels, [0, 1], config, n_jobs=jobs)
+    for a, b in zip(serial, parallel):
+        for klass in a.classes:
+            np.testing.assert_array_equal(
+                a._svms[klass].support_vectors_, b._svms[klass].support_vectors_
+            )
+
+    return {
+        "tasks": LAYERS * CLASSES,
+        "n_jobs": jobs,
+        "serial_seconds": round(serial_sec, 4),
+        "parallel_seconds": round(parallel_sec, 4),
+        "speedup": round(serial_sec / parallel_sec, 2),
+    }
+
+
+def _end_to_end() -> dict:
+    from tests.helpers import train_tiny_model
+
+    model, train_x, train_y, _, _ = train_tiny_model()
+    jobs = resolve_n_jobs(-1)
+
+    def fit_with(n_jobs):
+        validator = DeepValidator(
+            model, ValidatorConfig(nu=0.15, max_per_class=100, n_jobs=n_jobs)
+        )
+        validator.fit(train_x, train_y, chunk_size=64)
+
+    return {
+        "n_jobs": jobs,
+        "serial_seconds": round(_best_seconds(lambda: fit_with(1), repeats=2), 4),
+        "parallel_seconds": round(_best_seconds(lambda: fit_with(jobs), repeats=2), 4),
+    }
+
+
+def test_parallel_fit_speedup(capsys):
+    cores = resolve_n_jobs(-1)
+    solve = _solve_stage()
+    end_to_end = _end_to_end()
+    record = {
+        "benchmark": "fit-parallel-task-graph",
+        "layers": LAYERS,
+        "classes": CLASSES,
+        "per_class": PER_CLASS,
+        "cores": cores,
+        "solve_stage": solve,
+        "end_to_end_fit": end_to_end,
+    }
+    (REPO_ROOT / "BENCH_fit.json").write_text(json.dumps(record, indent=2) + "\n")
+    with capsys.disabled():
+        print(
+            f"\nfit bench ({cores} cores): solve stage serial "
+            f"{solve['serial_seconds']:.2f}s vs parallel "
+            f"{solve['parallel_seconds']:.2f}s ({solve['speedup']:.1f}x, "
+            f"n_jobs={solve['n_jobs']})"
+        )
+    if cores < 2:
+        pytest.skip("single-core runner: the >= 2x parallel bar needs real cores")
+    assert solve["speedup"] >= 2.0, (
+        f"parallel fit only {solve['speedup']:.1f}x over serial on {cores} cores"
+    )

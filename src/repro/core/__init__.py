@@ -10,6 +10,12 @@ error-inducing corner cases.
 """
 
 from repro.core.engine import ValidationEngine
+from repro.core.fitting import (
+    ParallelFitWarning,
+    default_fit_jobs,
+    fit_validators_from_arrays,
+    resolve_n_jobs,
+)
 from repro.core.validator import DeepValidator, LayerValidator, ValidatorConfig
 from repro.core.thresholds import centroid_threshold, fpr_calibrated_threshold
 from repro.core.monitor import RuntimeMonitor, ValidationVerdict
@@ -32,6 +38,10 @@ from repro.core.calibration import (
 
 __all__ = [
     "ValidationEngine",
+    "ParallelFitWarning",
+    "default_fit_jobs",
+    "fit_validators_from_arrays",
+    "resolve_n_jobs",
     "DeepValidator",
     "LayerValidator",
     "ValidatorConfig",

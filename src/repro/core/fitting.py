@@ -1,0 +1,366 @@
+"""Parallel, memory-bounded fitting pipeline for Algorithm 1.
+
+``DeepValidator.fit`` used to materialise the hidden representations of
+every kept training image in one unchunked forward pass, then run the
+``layers x classes`` independent one-class SMO solves strictly serially.
+This module decomposes that into three stages:
+
+1. **Planning** — :func:`plan_fit_tasks` replays Algorithm 1's exact
+   per-layer RNG discipline (``seed + layer position``, classes visited in
+   sorted order) to decide *which rows* each ``(layer, class)`` task will
+   train on, before any activation is computed. Subsampling therefore
+   depends only on the labels and the seed, never on worker scheduling.
+2. **Chunked extraction** — :func:`extract_task_features` streams the kept
+   images through :meth:`ProbedSequential.iter_hidden_representations` in
+   ``chunk_size`` batches and gathers *only* the planned rows per layer, so
+   peak transient memory is ``chunk_size x widest layer`` plus the
+   (``classes x max_per_class``)-row training buffers — never the full
+   dataset's activations.
+3. **Task-graph solving** — :func:`solve_tasks` dispatches the independent
+   ``(layer, class)`` solves (scaler stats, Gram matrix, SMO) over a
+   ``multiprocessing`` pool. Each worker computes its own Gram block;
+   results are merged by task key, so the assembled validator is
+   bit-identical regardless of worker count or completion order.
+   ``n_jobs=1`` runs the same solve in-process (the exact serial math) and
+   any pool failure — a crashed worker, an unpicklable custom kernel —
+   degrades gracefully to in-process solving with a
+   :class:`ParallelFitWarning` instead of aborting the fit.
+
+The determinism contract (``n_jobs=1`` ≡ ``n_jobs=N``) is pinned by the
+hypothesis suite in ``tests/test_fitting_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.svm.oneclass import OneClassSVM
+from repro.svm.scaler import StandardScaler
+from repro.utils.rng import new_rng
+
+
+class ParallelFitWarning(RuntimeWarning):
+    """Raised (as a warning) when parallel fitting falls back to in-process."""
+
+
+@dataclass(frozen=True)
+class FitTask:
+    """One independent unit of Algorithm 1: fit class ``klass`` at one layer.
+
+    ``position`` indexes the validated-layer list (it seeds the RNG),
+    ``layer_index`` the model probe, and ``rows`` the training-set rows the
+    task trains on — in the exact (possibly shuffled) order the serial
+    subsampler would visit them, since SMO initialisation is order-sensitive.
+    """
+
+    position: int
+    layer_index: int
+    klass: int
+    rows: np.ndarray
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.position, self.klass)
+
+
+@dataclass
+class TaskSolution:
+    """Everything a worker ships back from one ``(layer, class)`` solve.
+
+    The full dual vector stays in the worker; only the support set, offsets,
+    fitted kernel, and scaler statistics cross the process boundary —
+    exactly the pieces :meth:`OneClassSVM.from_solution` needs.
+    """
+
+    support_vectors: np.ndarray
+    dual_coef: np.ndarray
+    rho: float
+    norm_w: float
+    kernel: object
+    iterations: int
+    converged: bool
+    scaler_mean: np.ndarray | None = None
+    scaler_scale: np.ndarray | None = None
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalise the ``n_jobs`` knob: ``-1`` means every usable core."""
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # platforms without CPU affinity
+            return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be -1 or >= 1, got {n_jobs}")
+    return int(n_jobs)
+
+
+def default_fit_jobs(cap: int = 4) -> int:
+    """Worker count for callers without an explicit knob.
+
+    Honours the ``REPRO_FIT_JOBS`` environment variable, otherwise the
+    usable core count capped at ``cap`` (fit parallelism saturates quickly
+    on the small per-task Grams the paper's settings produce).
+    """
+    env = os.environ.get("REPRO_FIT_JOBS")
+    if env is not None:
+        return resolve_n_jobs(int(env))
+    return min(cap, resolve_n_jobs(-1))
+
+
+# -- stage 1: planning ---------------------------------------------------------
+
+
+def plan_fit_tasks(labels, layer_positions, config) -> list[FitTask]:
+    """Replay Algorithm 1's subsampling to a task list, without activations.
+
+    ``layer_positions`` is a list of ``(position, layer_index)`` pairs as
+    enumerated by ``DeepValidator.fit``; ``position`` feeds the per-layer
+    RNG (``config.seed + position``) exactly like the serial path, and
+    classes are visited in ``np.unique`` order, so the chosen rows — and
+    their order — match a serial ``LayerValidator.fit`` draw for draw.
+    """
+    labels = np.asarray(labels)
+    if not config.per_class:
+        labels = np.zeros(len(labels), dtype=np.int64)
+    tasks: list[FitTask] = []
+    for position, layer_index in layer_positions:
+        gen = new_rng(config.seed + position)
+        for klass in np.unique(labels):
+            rows = np.flatnonzero(labels == klass)
+            if len(rows) < 2:
+                raise ValueError(
+                    f"class {klass} has only {len(rows)} correctly classified "
+                    "training images; cannot fit its reference distribution"
+                )
+            if len(rows) > config.max_per_class:
+                rows = gen.choice(rows, size=config.max_per_class, replace=False)
+            tasks.append(FitTask(position, layer_index, int(klass), rows))
+    return tasks
+
+
+# -- stage 2: chunked extraction -----------------------------------------------
+
+
+def extract_task_features(
+    model, images: np.ndarray, tasks: list[FitTask], chunk_size: int = 256
+) -> dict[tuple[int, int], np.ndarray]:
+    """Gather each task's training features with bounded transient memory.
+
+    Streams ``images`` through the model in ``chunk_size`` batches and
+    copies only the planned rows of each validated layer into per-layer
+    buffers (at most ``classes x max_per_class`` rows each); the full
+    ``(N, features)`` activation matrices are never materialised.
+    """
+    unions: dict[int, np.ndarray] = {}
+    for task in tasks:
+        if task.layer_index in unions:
+            unions[task.layer_index] = np.union1d(unions[task.layer_index], task.rows)
+        else:
+            unions[task.layer_index] = np.unique(task.rows)
+
+    buffers: dict[int, np.ndarray] = {}
+    for start, _, reps in model.iter_hidden_representations(images, batch_size=chunk_size):
+        stop = start + len(reps[0]) if reps else start
+        for layer_index, union in unions.items():
+            lo, hi = np.searchsorted(union, [start, stop])
+            if lo == hi:
+                continue
+            rep = reps[layer_index]
+            if layer_index not in buffers:
+                buffers[layer_index] = np.empty((len(union), rep.shape[1]), dtype=rep.dtype)
+            buffers[layer_index][lo:hi] = rep[union[lo:hi] - start]
+
+    features: dict[tuple[int, int], np.ndarray] = {}
+    for task in tasks:
+        union = unions[task.layer_index]
+        positions = np.searchsorted(union, task.rows)
+        features[task.key] = np.asarray(
+            buffers[task.layer_index][positions], dtype=np.float64
+        )
+    return features
+
+
+# -- stage 3: the (layer, class) task graph ------------------------------------
+
+
+def _solve_config(config) -> dict:
+    """The picklable slice of ``ValidatorConfig`` a solve needs."""
+    return {
+        "nu": config.nu,
+        "kernel": config.kernel,
+        "gamma": config.gamma,
+        "standardize": config.standardize,
+    }
+
+
+def _solve_fit_task(payload) -> tuple[tuple[int, int], TaskSolution]:
+    """Worker body: scaler stats, Gram, and SMO for one task.
+
+    Runs identically in-process and in a pool worker — the same
+    ``StandardScaler.fit`` and ``OneClassSVM.fit`` calls the serial path
+    makes, so solutions are bit-identical either way.
+    """
+    key, features, cfg = payload
+    scaler_mean = scaler_scale = None
+    if cfg["standardize"]:
+        scaler = StandardScaler().fit(features)
+        scaler_mean, scaler_scale = scaler.mean_, scaler.scale_
+        features = scaler.transform(features)
+    svm = OneClassSVM(nu=cfg["nu"], kernel=cfg["kernel"], gamma=cfg["gamma"]).fit(features)
+    return key, TaskSolution(
+        support_vectors=svm.support_vectors_,
+        dual_coef=svm.dual_coef_,
+        rho=svm.rho_,
+        norm_w=svm.norm_w_,
+        kernel=svm.kernel_,
+        iterations=svm.result_.iterations,
+        converged=svm.result_.converged,
+        scaler_mean=scaler_mean,
+        scaler_scale=scaler_scale,
+    )
+
+
+def _make_pool(processes: int):
+    """Pool constructor, separated so tests can simulate pool failures."""
+    import multiprocessing
+
+    return multiprocessing.get_context().Pool(processes=processes)
+
+
+def solve_tasks(
+    task_features: dict[tuple[int, int], np.ndarray],
+    config,
+    n_jobs: int = 1,
+) -> dict[tuple[int, int], TaskSolution]:
+    """Solve every task, in-process or across a worker pool.
+
+    Payloads are dispatched in sorted key order and results are merged by
+    key, so the mapping is deterministic regardless of scheduling. Any pool
+    failure — fork trouble, a worker crash, an unpicklable custom kernel —
+    is downgraded to a :class:`ParallelFitWarning` and the remaining work
+    runs in-process; a failed parallel fit never aborts training.
+    """
+    cfg = _solve_config(config)
+    payloads = [(key, task_features[key], cfg) for key in sorted(task_features)]
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs > 1 and len(payloads) > 1:
+        try:
+            with _make_pool(min(n_jobs, len(payloads))) as pool:
+                return dict(pool.map(_solve_fit_task, payloads))
+        except Exception as exc:  # noqa: BLE001 — robustness is the contract
+            warnings.warn(
+                f"parallel fit (n_jobs={n_jobs}) failed with "
+                f"{type(exc).__name__}: {exc}; falling back to in-process fitting",
+                ParallelFitWarning,
+                stacklevel=2,
+            )
+    return dict(_solve_fit_task(payload) for payload in payloads)
+
+
+# -- assembly ------------------------------------------------------------------
+
+
+def build_layer_validators(
+    tasks: list[FitTask],
+    solutions: dict[tuple[int, int], TaskSolution],
+    layer_positions,
+    layer_names,
+    config,
+) -> list:
+    """Assemble fitted ``LayerValidator``s from task solutions.
+
+    Iterates tasks (already in planning order) rather than the solution
+    mapping, so assembly order — and therefore every downstream structure —
+    is fixed by the plan, not by worker completion.
+    """
+    from repro.core.validator import LayerValidator
+
+    by_position = {position: layer_index for position, layer_index in layer_positions}
+    validators = {
+        position: LayerValidator(layer_index, layer_names[layer_index], config)
+        for position, layer_index in layer_positions
+    }
+    for task in tasks:
+        solution = solutions[task.key]
+        scaler = None
+        if config.standardize:
+            scaler = StandardScaler.from_stats(
+                solution.scaler_mean, solution.scaler_scale
+            )
+        svm = OneClassSVM.from_solution(
+            kernel=solution.kernel,
+            support_vectors=solution.support_vectors,
+            dual_coef=solution.dual_coef,
+            rho=solution.rho,
+            norm_w=solution.norm_w,
+            nu=config.nu,
+            iterations=solution.iterations,
+            converged=solution.converged,
+        )
+        validators[task.position].install(task.klass, svm, scaler)
+    return [validators[position] for position, _ in layer_positions]
+
+
+# -- front ends ----------------------------------------------------------------
+
+
+def fit_deep_validator(
+    model,
+    images: np.ndarray,
+    labels: np.ndarray,
+    layer_indices: list[int],
+    config,
+    chunk_size: int = 256,
+    n_jobs: int | None = None,
+) -> list:
+    """The full pipeline behind ``DeepValidator.fit``: plan, extract, solve.
+
+    ``n_jobs`` defaults to ``config.n_jobs``. Returns the fitted per-layer
+    validators in layer order.
+    """
+    layer_positions = list(enumerate(layer_indices))
+    tasks = plan_fit_tasks(labels, layer_positions, config)
+    task_features = extract_task_features(model, images, tasks, chunk_size=chunk_size)
+    if n_jobs is None:
+        n_jobs = getattr(config, "n_jobs", 1)
+    solutions = solve_tasks(task_features, config, n_jobs=n_jobs)
+    return build_layer_validators(
+        tasks, solutions, layer_positions, model.probe_names, config
+    )
+
+
+def fit_validators_from_arrays(
+    representations: list[np.ndarray],
+    labels: np.ndarray,
+    layer_indices: list[int],
+    config,
+    n_jobs: int = 1,
+    layer_names: list[str] | None = None,
+) -> list:
+    """Fit per-layer validators from already-extracted representations.
+
+    ``representations[i]`` holds layer ``i``'s ``(N, features_i)`` matrix.
+    Used by the determinism suite (no model required) and by callers that
+    already hold activations; mathematically identical to
+    ``LayerValidator.fit`` per layer.
+    """
+    labels = np.asarray(labels)
+    if layer_names is None:
+        layer_names = [f"layer{i}" for i in range(len(representations))]
+    layer_positions = list(enumerate(layer_indices))
+    tasks = plan_fit_tasks(labels, layer_positions, config)
+    task_features = {
+        task.key: np.asarray(
+            representations[task.layer_index][task.rows], dtype=np.float64
+        )
+        for task in tasks
+    }
+    solutions = solve_tasks(task_features, config, n_jobs=n_jobs)
+    return build_layer_validators(tasks, solutions, layer_positions, layer_names, config)

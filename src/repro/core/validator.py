@@ -38,6 +38,11 @@ class ValidatorConfig:
     paper's Algorithm 1 both drops misclassified training images (line 2)
     and segments reference distributions by class; disabling either
     reproduces the degraded variants the paper argues against.
+
+    ``n_jobs`` dispatches the independent (layer, class) SMO solves of
+    Algorithm 1 over a worker pool (``-1`` = every usable core); the fitted
+    validator is bit-identical for any worker count, so this is purely a
+    wall-clock knob. See :mod:`repro.core.fitting`.
     """
 
     nu: float = 0.1
@@ -51,12 +56,15 @@ class ValidatorConfig:
     filter_misclassified: bool = True
     per_class: bool = True
     seed: int = 0
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.combiner not in {"sum", "mean", "max", "last"}:
             raise ValueError(
                 f"combiner must be sum/mean/max/last, got {self.combiner!r}"
             )
+        if self.n_jobs != -1 and self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be -1 or >= 1, got {self.n_jobs}")
 
 
 class LayerValidator:
@@ -92,6 +100,10 @@ class LayerValidator:
         if len(representations) != len(labels):
             raise ValueError("representations and labels must have equal length")
         self.__dict__.pop("_pack", None)  # refitting invalidates the packed scorer
+        # Refitting replaces the class set wholesale: SVMs for classes absent
+        # from the new labels must not survive into ``classes`` or pickles.
+        self._svms = {}
+        self._scalers = {}
         if not self.config.per_class:
             # Ablation: one class-agnostic reference distribution per layer.
             labels = np.zeros(len(labels), dtype=np.int64)
@@ -115,6 +127,20 @@ class LayerValidator:
             )
             self._svms[int(klass)] = svm.fit(features)
         return self
+
+    def install(
+        self, klass: int, svm: OneClassSVM, scaler: StandardScaler | None = None
+    ) -> None:
+        """Install one class's fitted pieces (the fitting pipeline's entry).
+
+        :mod:`repro.core.fitting` solves (layer, class) tasks out of line
+        and assembles validators through this rather than :meth:`fit`;
+        installing invalidates any cached packed scorer.
+        """
+        self.__dict__.pop("_pack", None)
+        self._svms[int(klass)] = svm
+        if scaler is not None:
+            self._scalers[int(klass)] = scaler
 
     def discrepancy(self, representations: np.ndarray, predicted: np.ndarray) -> np.ndarray:
         """Per-sample discrepancy ``d_i = -t_i^{y'}(f_i(x))`` (Eq. 2)."""
@@ -247,11 +273,29 @@ class DeepValidator:
 
     # -- Algorithm 1 -----------------------------------------------------------
 
-    def fit(self, train_images: np.ndarray, train_labels: np.ndarray) -> "DeepValidator":
-        """Fit per-layer validators on correctly classified training images."""
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        chunk_size: int = 256,
+    ) -> "DeepValidator":
+        """Fit per-layer validators on correctly classified training images.
+
+        Runs the memory-bounded pipeline of :mod:`repro.core.fitting`:
+        representations are extracted in ``chunk_size`` batches (only the
+        subsampled training rows are retained per layer) and the
+        independent (layer, class) solves are dispatched over
+        ``config.n_jobs`` workers. The fitted validator is bit-identical
+        for any ``n_jobs``.
+        """
+        from repro.core.fitting import fit_deep_validator
+
         self.__dict__.pop("_engine", None)  # refitting invalidates the engine
+        # A refit reports only its own run: stale layer lists and image
+        # counts from a previous fit must not accumulate.
+        self.fit_summary = _FitSummary()
         train_labels = np.asarray(train_labels)
-        predictions = self.model.predict(train_images)
+        predictions = self.model.predict(train_images, batch_size=chunk_size)
         keep = predictions == train_labels
         self.fit_summary.total_training_images = len(train_images)
         self.fit_summary.correctly_classified = int(keep.sum())
@@ -261,16 +305,19 @@ class DeepValidator:
         images = train_images[keep]
         labels = train_labels[keep]
 
-        _, representations = self.model.hidden_representations(images)
+        self.validators = fit_deep_validator(
+            self.model,
+            images,
+            labels,
+            self.layer_indices,
+            self.config,
+            chunk_size=chunk_size,
+            n_jobs=getattr(self.config, "n_jobs", 1),
+        )
         probe_names = self.model.probe_names
-        self.validators = []
-        for position, layer_index in enumerate(self.layer_indices):
-            validator = LayerValidator(layer_index, probe_names[layer_index], self.config)
-            validator.fit(
-                representations[layer_index], labels, rng=self.config.seed + position
-            )
-            self.validators.append(validator)
-            self.fit_summary.layers_fitted.append(probe_names[layer_index])
+        self.fit_summary.layers_fitted = [
+            probe_names[layer_index] for layer_index in self.layer_indices
+        ]
         return self
 
     def _check_fitted(self) -> None:
@@ -300,8 +347,15 @@ class DeepValidator:
         return predictions, np.stack(columns, axis=1)
 
     def joint_discrepancy(self, images: np.ndarray) -> np.ndarray:
-        """The joint discrepancy ``d`` (Eq. 3, or the configured combiner)."""
-        _, per_layer = self.discrepancies(images)
+        """The joint discrepancy ``d`` (Eq. 3, or the configured combiner).
+
+        Routed through the batched :meth:`engine`, so calibration followed
+        by flagging of the same images hits the score cache instead of
+        paying the forward pass and kernel work twice;
+        :meth:`discrepancies` remains the paper-faithful per-class
+        reference path (the differential harness pins the two at 1e-8).
+        """
+        _, per_layer = self.engine().discrepancies(images)
         return self.combine(per_layer)
 
     def combine(self, per_layer: np.ndarray) -> np.ndarray:
@@ -350,7 +404,9 @@ class DeepValidator:
 
         The paper's recommendation (Section IV-D3): the centre between the
         centroid of legitimate-image discrepancies and the centroid of
-        corner-case discrepancies trades off TPR against FPR.
+        corner-case discrepancies trades off TPR against FPR. Scores come
+        from the batched engine, whose cache makes a subsequent
+        :meth:`flag` of the same images free.
         """
         from repro.core.thresholds import centroid_threshold
 
@@ -360,5 +416,9 @@ class DeepValidator:
         return self.epsilon
 
     def flag(self, images: np.ndarray) -> np.ndarray:
-        """Boolean mask of images whose joint discrepancy exceeds epsilon."""
+        """Boolean mask of images whose joint discrepancy exceeds epsilon.
+
+        Engine-routed like :meth:`joint_discrepancy`; flagging images that
+        were just calibrated on is a cache hit, not a recompute.
+        """
         return self.joint_discrepancy(images) > self.epsilon

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.fitting import default_fit_jobs
 from repro.core.validator import DeepValidator, ValidatorConfig
 from repro.corner.suite import CornerCaseSuite, build_corner_case_suite
 from repro.utils.cache import ArtifactCache, default_cache
@@ -89,7 +90,12 @@ def _build_context(dataset_name: str, profile: str, seed: int) -> ExperimentCont
     if dataset_name == "synth-cifar":
         # The paper validates only the rear layers of its DenseNet (IV-C).
         layers = rear_layer_indices(probe_count)
-    config = ValidatorConfig(layers=layers, seed=seed, **_VALIDATOR_PARAMS[profile])
+    # Parallel fitting is bit-identical to serial (the determinism suite
+    # pins this), so the worker count does not belong in the cache key.
+    config = ValidatorConfig(
+        layers=layers, seed=seed, n_jobs=default_fit_jobs(),
+        **_VALIDATOR_PARAMS[profile],
+    )
     validator = DeepValidator(model, config)
     validator.fit(dataset.train_images, dataset.train_labels)
 

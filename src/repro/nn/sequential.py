@@ -144,6 +144,28 @@ class ProbedSequential(Module):
         """Predicted labels for a batch of images."""
         return self.predict_proba(images, batch_size=batch_size).argmax(axis=1)
 
+    def iter_hidden_representations(self, images: np.ndarray, batch_size: int = 256):
+        """Stream ``(start, probabilities, reps)`` per ``batch_size`` chunk.
+
+        The memory-bounded counterpart of :meth:`hidden_representations`:
+        nothing is accumulated, so consumers that only keep a subset of
+        rows — the fitting pipeline gathers at most ``max_per_class`` rows
+        per (layer, class) — hold one chunk of activations at a time.
+        Chunk boundaries match :meth:`hidden_representations` for the same
+        ``batch_size``, keeping float32 forward results reproducible
+        between the streaming and materialising paths.
+        """
+        self.eval()
+        for start in range(0, len(images), batch_size):
+            with no_grad():
+                batch = Tensor(images[start : start + batch_size].astype(np.float32, copy=False))
+                out, probes = self.forward_probes(batch)
+            yield (
+                start,
+                out.data,
+                [probe.data.reshape(probe.shape[0], -1) for probe in probes],
+            )
+
     def hidden_representations(
         self, images: np.ndarray, batch_size: int = 256
     ) -> tuple[np.ndarray, list[np.ndarray]]:
@@ -152,18 +174,16 @@ class ProbedSequential(Module):
         Returns ``(probabilities, reps)`` where ``reps[i]`` has shape
         ``(N, features_i)`` — the probe outputs flattened per sample, which
         is the exact representation the one-class SVM validators are fitted
-        on.
+        on. Materialises every chunk of :meth:`iter_hidden_representations`;
+        callers that need only a row subset should consume the iterator
+        directly.
         """
-        self.eval()
         probs: list[np.ndarray] = []
         reps: list[list[np.ndarray]] = [[] for _ in self.probe_names]
-        with no_grad():
-            for start in range(0, len(images), batch_size):
-                batch = Tensor(images[start : start + batch_size].astype(np.float32, copy=False))
-                out, probes = self.forward_probes(batch)
-                probs.append(out.data)
-                for slot, probe in zip(reps, probes):
-                    slot.append(probe.data.reshape(probe.shape[0], -1))
+        for _, out, probes in self.iter_hidden_representations(images, batch_size):
+            probs.append(out)
+            for slot, probe in zip(reps, probes):
+                slot.append(probe)
         return (
             np.concatenate(probs, axis=0),
             [np.concatenate(slot, axis=0) for slot in reps],

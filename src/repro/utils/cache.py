@@ -19,6 +19,8 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
+import uuid
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Hashable
@@ -76,12 +78,22 @@ class ArtifactCache:
             return pickle.load(fh)
 
     def store(self, name: str, config: Any, value: Any) -> None:
-        """Pickle ``value`` under (name, config), atomically."""
+        """Pickle ``value`` under (name, config), atomically.
+
+        The temp file carries a per-write unique suffix (pid + random), so
+        concurrent processes building the same artifact each write their
+        own staging file and the final ``os.replace`` promotes a complete
+        pickle — never a half-written one another writer clobbered.
+        """
         path = self.path_for(name, config)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}-{uuid.uuid4().hex}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # only on a failed write; replace consumed it
+                tmp.unlink()
 
     def discard(self, name: str, config: Any) -> bool:
         """Remove the entry for (name, config); returns whether one existed."""
@@ -125,6 +137,13 @@ class LRUCache:
     entries are held, inserting a new key evicts the stalest one. Hit and
     miss counts are tracked so callers (and tests) can audit cache
     effectiveness.
+
+    All bookkeeping is guarded by a lock, so validation engines shared
+    across scoring threads never corrupt the recency ordering or the
+    counters. ``get_or_compute`` runs ``compute`` outside the lock —
+    concurrent misses on the same key may compute twice (both arrive at
+    the same value), but a slow compute never blocks unrelated lookups and
+    a compute that re-enters the cache cannot deadlock.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
@@ -132,64 +151,84 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         """Membership test; does not touch recency or hit/miss counters."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)  # locks don't pickle; restore a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def _lookup(self, key: Hashable) -> tuple[bool, Any]:
+        """One locked probe: ``(hit, value)`` with counters updated."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return True, self._entries[key]
+            self.misses += 1
+            return False, None
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, marking it most recently used on a hit."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        return default
+        hit, value = self._lookup(key)
+        return value if hit else default
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing and storing on miss."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
+        hit, value = self._lookup(key)
+        if hit:
+            return value
         value = compute()
         self.put(key, value)
         return value
 
     def keys(self) -> list[Hashable]:
         """Keys from least to most recently used."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
         """Drop every entry; counters are preserved."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction accounting plus current size."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
 
 
 def default_cache() -> ArtifactCache:

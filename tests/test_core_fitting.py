@@ -1,0 +1,311 @@
+"""Tests for the parallel, memory-bounded fitting pipeline (Algorithm 1).
+
+Covers the refit-staleness regressions, the chunked extraction memory
+contract, worker-failure fallback, and serial/parallel equivalence. The
+hypothesis-driven bit-identity properties live in
+``test_fitting_determinism.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import (
+    ParallelFitWarning,
+    default_fit_jobs,
+    extract_task_features,
+    fit_validators_from_arrays,
+    plan_fit_tasks,
+    resolve_n_jobs,
+)
+from repro.core.validator import DeepValidator, LayerValidator, ValidatorConfig
+from repro.nn.sequential import ProbedSequential
+from repro.svm.kernels import Kernel
+from repro.svm.oneclass import OneClassSVM
+
+
+def gaussian_classes(seed=0, n=120, d=6, classes=3, spread=8.0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, size=n)
+    centers = rng.normal(size=(classes, d)) * spread
+    return centers[labels] + rng.normal(size=(n, d)), labels
+
+
+class TestRefitStaleness:
+    def test_layer_validator_refit_drops_stale_classes(self):
+        reps, labels = gaussian_classes(classes=3)
+        validator = LayerValidator(0, "layer0", ValidatorConfig())
+        validator.fit(reps, labels)
+        assert validator.classes == [0, 1, 2]
+        # Refit on a label subset: classes must shrink, not accumulate.
+        subset = labels < 2
+        validator.fit(reps[subset], labels[subset])
+        assert validator.classes == [0, 1]
+        assert sorted(validator._scalers) == [0, 1]
+        # The stale class-2 SVM must not leak into scoring either.
+        with pytest.raises(KeyError):
+            validator.discrepancy(reps[:1], np.array([2]))
+
+    def test_deep_validator_refit_resets_summary(self, trained_tiny_model):
+        model, train_x, train_y, *_ = trained_tiny_model
+        validator = DeepValidator(model, ValidatorConfig(nu=0.15))
+        validator.fit(train_x, train_y)
+        first = validator.fit_summary
+        assert first.layers_fitted == model.probe_names
+        validator.fit(train_x[:100], train_y[:100])
+        second = validator.fit_summary
+        # A refit reports its own run: no doubled layer list, fresh counts.
+        assert second.layers_fitted == model.probe_names
+        assert second.total_training_images == 100
+        assert second.correctly_classified <= 100
+
+
+class TestPlanning:
+    def test_tasks_cover_layers_and_classes(self):
+        _, labels = gaussian_classes(classes=3)
+        config = ValidatorConfig()
+        tasks = plan_fit_tasks(labels, [(0, 0), (1, 2)], config)
+        assert {(t.position, t.layer_index, t.klass) for t in tasks} == {
+            (0, 0, k) for k in range(3)
+        } | {(1, 2, k) for k in range(3)}
+
+    def test_subsampling_matches_serial_rng(self):
+        # The planned rows must replay LayerValidator.fit's draws exactly:
+        # same per-layer generator, classes in sorted order.
+        from repro.utils.rng import new_rng
+
+        _, labels = gaussian_classes(n=400, classes=3)
+        config = ValidatorConfig(max_per_class=50, seed=9)
+        tasks = plan_fit_tasks(labels, [(2, 0)], config)
+        gen = new_rng(config.seed + 2)
+        for task in tasks:
+            rows = np.flatnonzero(labels == task.klass)
+            if len(rows) > config.max_per_class:
+                rows = gen.choice(rows, size=config.max_per_class, replace=False)
+            np.testing.assert_array_equal(task.rows, rows)
+
+    def test_tiny_class_rejected(self):
+        labels = np.array([0, 0, 1])
+        with pytest.raises(ValueError, match="class 1"):
+            plan_fit_tasks(labels, [(0, 0)], ValidatorConfig())
+
+    def test_per_class_false_collapses_to_one_task(self):
+        _, labels = gaussian_classes(classes=3)
+        tasks = plan_fit_tasks(labels, [(0, 0)], ValidatorConfig(per_class=False))
+        assert [t.klass for t in tasks] == [0]
+        assert len(tasks[0].rows) == len(labels)  # every image, one distribution
+
+
+class TestChunkedExtraction:
+    def test_fit_never_materialises_full_representations(
+        self, trained_tiny_model, monkeypatch
+    ):
+        # The fit path must stream chunks, not call the materialising
+        # hidden_representations; peak transient memory is the chunk.
+        model, train_x, train_y, *_ = trained_tiny_model
+
+        def forbidden(self, images, batch_size=256):
+            raise AssertionError("fit must not materialise full representations")
+
+        monkeypatch.setattr(ProbedSequential, "hidden_representations", forbidden)
+        validator = DeepValidator(model, ValidatorConfig(nu=0.15, max_per_class=40))
+        validator.fit(train_x, train_y, chunk_size=32)
+        assert len(validator.validators) == len(model.probe_names)
+
+    def test_forward_chunks_bounded_by_chunk_size(
+        self, trained_tiny_model, monkeypatch
+    ):
+        model, train_x, train_y, *_ = trained_tiny_model
+        seen: list[int] = []
+        original = ProbedSequential.forward_probes
+
+        def spying(self, x):
+            seen.append(x.shape[0])
+            return original(self, x)
+
+        monkeypatch.setattr(ProbedSequential, "forward_probes", spying)
+        DeepValidator(model, ValidatorConfig(nu=0.15)).fit(
+            train_x, train_y, chunk_size=16
+        )
+        assert seen and max(seen) <= 16
+
+    def test_gathered_features_bounded_by_max_per_class(self, trained_tiny_model):
+        model, train_x, train_y, *_ = trained_tiny_model
+        config = ValidatorConfig(max_per_class=25)
+        labels = model.predict(train_x)
+        keep = labels == train_y
+        tasks = plan_fit_tasks(
+            train_y[keep], list(enumerate(range(len(model.probe_names)))), config
+        )
+        features = extract_task_features(model, train_x[keep], tasks, chunk_size=16)
+        for task in tasks:
+            assert len(features[task.key]) <= 25
+
+    def test_extraction_matches_materialised_rows(self, trained_tiny_model):
+        # Chunked gathering must return the same float64 rows, in the same
+        # order, as slicing the fully materialised representations.
+        model, train_x, train_y, *_ = trained_tiny_model
+        config = ValidatorConfig(max_per_class=30)
+        keep = model.predict(train_x) == train_y
+        images, labels = train_x[keep], train_y[keep]
+        tasks = plan_fit_tasks(
+            labels, list(enumerate(range(len(model.probe_names)))), config
+        )
+        features = extract_task_features(model, images, tasks, chunk_size=256)
+        _, full = model.hidden_representations(images)
+        for task in tasks:
+            expected = np.asarray(full[task.layer_index][task.rows], dtype=np.float64)
+            np.testing.assert_array_equal(features[task.key], expected)
+
+
+class TestParallelSolving:
+    def test_parallel_equals_serial_end_to_end(self, trained_tiny_model):
+        model, train_x, train_y, *_ = trained_tiny_model
+        serial = DeepValidator(model, ValidatorConfig(nu=0.15, n_jobs=1))
+        parallel = DeepValidator(model, ValidatorConfig(nu=0.15, n_jobs=3))
+        serial.fit(train_x, train_y)
+        parallel.fit(train_x, train_y)
+        for a, b in zip(serial.validators, parallel.validators):
+            assert a.classes == b.classes
+            for klass in a.classes:
+                sa, sb = a._svms[klass], b._svms[klass]
+                np.testing.assert_array_equal(sa.support_vectors_, sb.support_vectors_)
+                np.testing.assert_array_equal(sa.dual_coef_, sb.dual_coef_)
+                assert sa.rho_ == sb.rho_
+                assert sa.norm_w_ == sb.norm_w_
+                np.testing.assert_array_equal(
+                    a._scalers[klass].mean_, b._scalers[klass].mean_
+                )
+
+    def test_pool_failure_degrades_to_in_process(self, monkeypatch):
+        import repro.core.fitting as fitting
+
+        def broken_pool(processes):
+            raise OSError("fork failed")
+
+        monkeypatch.setattr(fitting, "_make_pool", broken_pool)
+        reps, labels = gaussian_classes()
+        with pytest.warns(ParallelFitWarning, match="falling back"):
+            fitted = fit_validators_from_arrays(
+                [reps], labels, [0], ValidatorConfig(), n_jobs=4
+            )
+        reference = fit_validators_from_arrays(
+            [reps], labels, [0], ValidatorConfig(), n_jobs=1
+        )
+        for klass in reference[0].classes:
+            np.testing.assert_array_equal(
+                fitted[0]._svms[klass].support_vectors_,
+                reference[0]._svms[klass].support_vectors_,
+            )
+
+    def test_unpicklable_kernel_degrades_to_in_process(self):
+        # A custom kernel holding a lambda cannot cross the process
+        # boundary; the fit must warn and complete in-process instead.
+        class LambdaKernel(Kernel):
+            name = "lambda-linear"
+
+            def __init__(self):
+                self.fn = lambda a, b: a @ b.T
+
+            def __call__(self, a, b):
+                return self.fn(a, b)
+
+            def diag(self, a):
+                return np.einsum("ij,ij->i", a, a)
+
+        reps, labels = gaussian_classes(d=4)
+        config = ValidatorConfig(kernel=LambdaKernel(), standardize=False)
+        with pytest.warns(ParallelFitWarning):
+            fitted = fit_validators_from_arrays([reps], labels, [0], config, n_jobs=2)
+        assert fitted[0].classes == [0, 1, 2]
+        scores = fitted[0].discrepancy(reps[:5], labels[:5])
+        assert np.isfinite(scores).all()
+
+    def test_single_task_skips_the_pool(self, monkeypatch):
+        import repro.core.fitting as fitting
+
+        def exploding_pool(processes):  # pragma: no cover - must not be hit
+            raise AssertionError("pool must not be created for one task")
+
+        monkeypatch.setattr(fitting, "_make_pool", exploding_pool)
+        reps, labels = gaussian_classes()
+        fitted = fit_validators_from_arrays(
+            [reps], np.zeros(len(labels), dtype=np.int64), [0],
+            ValidatorConfig(), n_jobs=4,
+        )
+        assert fitted[0].classes == [0]
+
+
+class TestKnobs:
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(-1) >= 1
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+
+    def test_default_fit_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIT_JOBS", "2")
+        assert default_fit_jobs() == 2
+        monkeypatch.delenv("REPRO_FIT_JOBS")
+        assert 1 <= default_fit_jobs() <= 4
+
+    def test_config_rejects_bad_n_jobs(self):
+        with pytest.raises(ValueError):
+            ValidatorConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            ValidatorConfig(n_jobs=-2)
+
+
+class TestFromSolution:
+    def test_round_trip_scores_identically(self):
+        reps, labels = gaussian_classes()
+        rows = labels == 0
+        svm = OneClassSVM(nu=0.2).fit(reps[rows])
+        rebuilt = OneClassSVM.from_solution(
+            kernel=svm.kernel_,
+            support_vectors=svm.support_vectors_,
+            dual_coef=svm.dual_coef_,
+            rho=svm.rho_,
+            norm_w=svm.norm_w_,
+            nu=0.2,
+        )
+        np.testing.assert_array_equal(
+            rebuilt.signed_distance(reps[:10]), svm.signed_distance(reps[:10])
+        )
+
+    def test_shape_and_type_validation(self):
+        from repro.svm.kernels import LinearKernel
+
+        with pytest.raises(ValueError, match="support vectors"):
+            OneClassSVM.from_solution(
+                kernel=LinearKernel(), support_vectors=np.zeros(3),
+                dual_coef=np.zeros(3), rho=0.0, norm_w=1.0,
+            )
+        with pytest.raises(ValueError, match="dual_coef"):
+            OneClassSVM.from_solution(
+                kernel=LinearKernel(), support_vectors=np.zeros((3, 2)),
+                dual_coef=np.zeros(2), rho=0.0, norm_w=1.0,
+            )
+        with pytest.raises(TypeError, match="Kernel"):
+            OneClassSVM.from_solution(
+                kernel="rbf", support_vectors=np.zeros((3, 2)),
+                dual_coef=np.zeros(3), rho=0.0, norm_w=1.0,
+            )
+
+    def test_install_invalidates_pack(self):
+        reps, labels = gaussian_classes()
+        validator = LayerValidator(0, "layer0", ValidatorConfig())
+        validator.fit(reps, labels)
+        pack = validator.packed()
+        assert pack is not None
+        donor = validator._svms[0]
+        validator.install(
+            5,
+            OneClassSVM.from_solution(
+                kernel=donor.kernel_, support_vectors=donor.support_vectors_,
+                dual_coef=donor.dual_coef_, rho=donor.rho_, norm_w=donor.norm_w_,
+            ),
+            validator._scalers[0],
+        )
+        assert validator.classes == [0, 1, 2, 5]
+        assert validator.packed() is not pack  # rebuilt with the new class

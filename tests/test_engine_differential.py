@@ -168,9 +168,11 @@ class TestEngineAgainstValidator:
         engine_predictions, batched = engine.discrepancies(test_x)
         np.testing.assert_array_equal(predictions, engine_predictions)
         np.testing.assert_allclose(batched, reference, atol=TOLERANCE, rtol=0)
+        # joint_discrepancy routes through the engine; pin it against the
+        # combined *reference* matrix, not against the engine itself.
         np.testing.assert_allclose(
-            engine.joint_discrepancy(test_x),
             validator.joint_discrepancy(test_x),
+            validator.combine(reference),
             atol=TOLERANCE,
             rtol=0,
         )
@@ -187,6 +189,29 @@ class TestEngineAgainstValidator:
         np.testing.assert_array_equal(
             engine.flag(test_x), validator.flag(test_x)
         )
+
+    def test_deployment_helpers_route_through_engine(self, trained_tiny_model):
+        # calibrate_threshold / joint_discrepancy / flag all go through the
+        # batched engine now: scores must still match the per-class
+        # reference loop at 1e-8, and calibrating then flagging the same
+        # images must be a cache hit, not a recompute.
+        model, train_x, train_y, test_x, _ = trained_tiny_model
+        validator = DeepValidator(model, ValidatorConfig(max_per_class=60))
+        validator.fit(train_x, train_y)
+        noise = np.random.default_rng(3).random((30, 1, 12, 12))
+
+        epsilon = validator.calibrate_threshold(test_x[:30], noise)
+        engine = validator.engine()
+        assert engine.stats["misses"] == 2  # one per calibration batch
+        flags = validator.flag(noise)
+        assert engine.stats["hits"] >= 1  # flagging replayed a cached batch
+
+        from repro.core.thresholds import centroid_threshold
+
+        clean_ref = validator.combine(validator.discrepancies(test_x[:30])[1])
+        noise_ref = validator.combine(validator.discrepancies(noise)[1])
+        assert abs(epsilon - centroid_threshold(clean_ref, noise_ref)) < TOLERANCE
+        np.testing.assert_array_equal(flags, noise_ref > epsilon)
 
     def test_engine_survives_pickle_round_trip(self, trained_tiny_model):
         # Cached contexts pickle fitted validators; the engine and packs are

@@ -1,0 +1,108 @@
+"""Determinism suite: parallel fitting is bit-identical to serial.
+
+The fitting pipeline's contract is that ``n_jobs`` is purely a wall-clock
+knob — support vectors, dual coefficients, offsets, scaler statistics, and
+every downstream discrepancy must be *exactly* equal (``==``, not allclose)
+for any worker count, across random feature sets, class skews, and
+``max_per_class`` subsampling. Workers solve on pickled copies of the same
+float64 features with the same BLAS, so any divergence indicates scheduling
+leaked into the math.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitting import fit_validators_from_arrays
+from repro.core.validator import ValidatorConfig
+
+
+def random_layer_reps(seed, class_sizes, dims):
+    """Per-layer representation matrices over shared labels."""
+    rng = np.random.default_rng(seed)
+    labels = np.concatenate(
+        [np.full(size, klass, dtype=np.int64) for klass, size in enumerate(class_sizes)]
+    )
+    rng.shuffle(labels)
+    reps = [
+        rng.normal(loc=labels[:, None] * 1.5, scale=1.0, size=(len(labels), dim))
+        for dim in dims
+    ]
+    return reps, labels
+
+
+def assert_validators_identical(fitted_a, fitted_b):
+    assert len(fitted_a) == len(fitted_b)
+    for a, b in zip(fitted_a, fitted_b):
+        assert a.classes == b.classes
+        for klass in a.classes:
+            sa, sb = a._svms[klass], b._svms[klass]
+            np.testing.assert_array_equal(sa.support_vectors_, sb.support_vectors_)
+            np.testing.assert_array_equal(sa.dual_coef_, sb.dual_coef_)
+            assert sa.rho_ == sb.rho_
+            assert sa.norm_w_ == sb.norm_w_
+            if a.config.standardize:
+                np.testing.assert_array_equal(
+                    a._scalers[klass].mean_, b._scalers[klass].mean_
+                )
+                np.testing.assert_array_equal(
+                    a._scalers[klass].scale_, b._scalers[klass].scale_
+                )
+
+
+class TestParallelBitIdentity:
+    @given(
+        seed=st.integers(0, 10_000),
+        sizes=st.tuples(st.integers(8, 40), st.integers(8, 40), st.integers(8, 40)),
+        max_per_class=st.integers(5, 30),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_random_features_and_subsampling(self, seed, sizes, max_per_class):
+        reps, labels = random_layer_reps(seed, sizes, dims=(4, 6))
+        config = ValidatorConfig(max_per_class=max_per_class, seed=seed % 7)
+        serial = fit_validators_from_arrays(reps, labels, [0, 1], config, n_jobs=1)
+        parallel = fit_validators_from_arrays(reps, labels, [0, 1], config, n_jobs=4)
+        assert_validators_identical(serial, parallel)
+        # Downstream discrepancies are bit-identical too.
+        queries = np.random.default_rng(seed + 1).normal(size=(16, 4))
+        predicted = np.random.default_rng(seed + 2).integers(0, 3, size=16)
+        np.testing.assert_array_equal(
+            serial[0].discrepancy(queries, predicted),
+            parallel[0].discrepancy(queries, predicted),
+        )
+
+    @given(
+        seed=st.integers(0, 10_000),
+        small=st.integers(2, 5),
+        large=st.integers(60, 120),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_class_skew(self, seed, small, large):
+        # One near-empty class against a dominant one: the skew must not
+        # change which rows each task trains on under any worker count.
+        reps, labels = random_layer_reps(seed, (small, large), dims=(5,))
+        config = ValidatorConfig(max_per_class=50, seed=1)
+        serial = fit_validators_from_arrays(reps, labels, [0], config, n_jobs=1)
+        parallel = fit_validators_from_arrays(reps, labels, [0], config, n_jobs=4)
+        assert_validators_identical(serial, parallel)
+
+    @given(seed=st.integers(0, 10_000), kernel=st.sampled_from(["rbf", "linear", "poly"]))
+    @settings(max_examples=5, deadline=None)
+    def test_kernels_and_no_standardize(self, seed, kernel):
+        reps, labels = random_layer_reps(seed, (20, 20), dims=(4,))
+        config = ValidatorConfig(kernel=kernel, standardize=False, max_per_class=15)
+        serial = fit_validators_from_arrays(reps, labels, [0], config, n_jobs=1)
+        parallel = fit_validators_from_arrays(reps, labels, [0], config, n_jobs=2)
+        assert_validators_identical(serial, parallel)
+
+    def test_worker_count_and_schedule_invariance(self):
+        # Same plan solved with 1, 2, and 5 workers over 8 tasks: every
+        # merge must land on the identical validator.
+        reps, labels = random_layer_reps(3, (15, 15, 15, 15), dims=(4, 4))
+        config = ValidatorConfig(max_per_class=10, seed=2)
+        fitted = [
+            fit_validators_from_arrays(reps, labels, [0, 1], config, n_jobs=n)
+            for n in (1, 2, 5)
+        ]
+        assert_validators_identical(fitted[0], fitted[1])
+        assert_validators_identical(fitted[0], fitted[2])

@@ -120,6 +120,59 @@ class TestCache:
         assert cache.discard("x", {})
         assert not cache.contains("x", {})
 
+    def test_interleaved_stores_both_land_intact(self, tmp_path):
+        # Two writers racing on the same artifact: writer A starts pickling,
+        # writer B stores completely, then A finishes. With a shared
+        # ``.tmp`` staging name B would truncate A's half-written file and
+        # one replace could promote garbage; per-write unique temp names
+        # keep both writes intact (last replace wins).
+        import threading
+
+        cache = ArtifactCache(tmp_path)
+        a_started = threading.Event()
+        b_done = threading.Event()
+        errors: list[Exception] = []
+
+        class StallsMidPickle:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __reduce__(self):
+                a_started.set()
+                b_done.wait(timeout=10)
+                return (str, (self.tag,))
+
+        def writer_a_body():
+            try:
+                cache.store("thing", {"k": 1}, StallsMidPickle("A"))
+            except Exception as exc:  # with a shared tmp, A's replace dies
+                errors.append(exc)
+
+        writer_a = threading.Thread(target=writer_a_body)
+        writer_a.start()
+        assert a_started.wait(timeout=10)
+        cache.store("thing", {"k": 1}, "B")  # completes while A is mid-write
+        assert cache.load("thing", {"k": 1}) == "B"
+        b_done.set()
+        writer_a.join(timeout=10)
+        assert not errors  # both stores completed
+        # A's replace ran last; its value must load cleanly — not a
+        # truncated or interleaved pickle.
+        assert cache.load("thing", {"k": 1}) == "A"
+        assert not list(tmp_path.glob("*.tmp"))  # staging files consumed
+
+    def test_failed_store_cleans_up_staging_file(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            cache.store("bad", {}, Unpicklable())
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not cache.contains("bad", {})
+
 
 class TestLRUCache:
     def test_eviction_order_is_least_recently_used(self):
@@ -184,6 +237,47 @@ class TestLRUCache:
     def test_maxsize_validated(self):
         with pytest.raises(ValueError):
             LRUCache(maxsize=0)
+
+    def test_thread_safety_under_contention(self):
+        # Engines may be scored from several threads; hammer one cache from
+        # eight workers and check the bookkeeping never corrupts.
+        import threading
+
+        cache = LRUCache(maxsize=16)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(300):
+                    key = (worker_id + i) % 24
+                    value = cache.get_or_compute(key, lambda k=key: k * 2)
+                    assert value == key * 2
+                    cache.put(key, key * 2)
+                    cache.get(key)
+                    _ = key in cache
+                    _ = cache.stats
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats
+        assert stats["size"] <= 16
+        assert stats["hits"] + stats["misses"] >= 8 * 300
+
+    def test_pickle_round_trip_restores_lock(self):
+        import pickle
+
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        restored = pickle.loads(pickle.dumps(cache))
+        assert restored.get("a") == 1
+        restored.put("b", 2)  # lock usable after restore
+        assert len(restored) == 2
 
 
 class TestHashArray:

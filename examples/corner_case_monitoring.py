@@ -13,7 +13,7 @@ Run with::
 
 import numpy as np
 
-from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
+from repro.core import DeepValidator, InputGuard, RuntimeMonitor, ValidatorConfig
 from repro.core.thresholds import fpr_calibrated_threshold
 from repro.transforms import Brightness, Compose, Rotation
 from repro.zoo import get_trained_classifier
@@ -33,7 +33,8 @@ def main() -> None:
     print(f"epsilon calibrated at 5% clean FPR: {validator.epsilon:+.4f}")
 
     interventions = []
-    monitor = RuntimeMonitor(validator, on_reject=interventions.append)
+    guard = InputGuard(expected_shape=dataset.train_images.shape[1:])
+    monitor = RuntimeMonitor(validator, on_reject=interventions.append, guard=guard)
 
     # The camera degrades over ten stages: rotation and darkness grow.
     frames = dataset.test_images[200:230]
@@ -52,13 +53,31 @@ def main() -> None:
         print(f"{stage:>5} {theta:>8.0f}° {darkening:>10.2f} "
               f"{accuracy:>9.2f} {rejected.mean():>9.0%}")
 
+    # A glitched frame (sensor dropout -> NaN pixels) is quarantined by the
+    # input guard as a structured verdict, never an exception.
+    glitched = frames[:1].copy()
+    glitched[0, 0, 4:8, 4:8] = np.nan
+    quarantined = monitor.classify(glitched)[0]
+    print(f"\nglitched frame verdict: {quarantined}")
+
     print(f"\ntotal: {monitor.stats['accepted']} accepted, "
-          f"{monitor.stats['rejected']} rejected "
+          f"{monitor.stats['rejected']} rejected, "
+          f"{monitor.stats['quarantined']} quarantined "
           f"({monitor.rejection_rate:.0%} intervention rate)")
     print(f"first rejection verdict: {interventions[0] if interventions else None}")
 
-    # Sanity: the monitor must escalate as conditions degrade.
+    health = monitor.health()
+    print("\nlayer health:")
+    for name, layer in health["layers"].items():
+        print(f"  {name:>6}: breaker {layer['state']}, "
+              f"{layer['failures']} failures, "
+              f"{layer['skipped_batches']} skipped batches")
+
+    # Sanity: the monitor must escalate as conditions degrade, quarantine the
+    # glitched frame, and report every breaker healthy.
     assert monitor.stats["rejected"] > 0, "degraded frames should trigger rejections"
+    assert monitor.stats["quarantined"] == 1, "NaN frame should be quarantined"
+    assert all(l["state"] == "closed" for l in health["layers"].values())
     print("monitoring example OK")
 
 

@@ -19,6 +19,12 @@ from repro.core.fitting import (
 from repro.core.validator import DeepValidator, LayerValidator, ValidatorConfig
 from repro.core.thresholds import centroid_threshold, fpr_calibrated_threshold
 from repro.core.monitor import RuntimeMonitor, ValidationVerdict
+from repro.core.resilience import (
+    CircuitBreaker,
+    DegradedModeWarning,
+    DegradedScorer,
+    InputGuard,
+)
 from repro.core.weighting import (
     fit_auc_greedy_weights,
     fit_logistic_weights,
@@ -49,6 +55,10 @@ __all__ = [
     "fpr_calibrated_threshold",
     "RuntimeMonitor",
     "ValidationVerdict",
+    "CircuitBreaker",
+    "DegradedModeWarning",
+    "DegradedScorer",
+    "InputGuard",
     "fit_logistic_weights",
     "fit_auc_greedy_weights",
     "weighted_auc",

@@ -61,6 +61,14 @@ class ValidationEngine:
 
     # -- scoring ---------------------------------------------------------------
 
+    def _empty_result(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(predictions, D)`` pair for a zero-image batch."""
+        predictions = np.empty(0, dtype=np.int64)
+        per_layer = np.empty((0, len(self.validator.validators)))
+        predictions.flags.writeable = False
+        per_layer.flags.writeable = False
+        return predictions, per_layer
+
     def _compute(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         probabilities, representations = self.model.hidden_representations(
             images, batch_size=self.chunk_size
@@ -81,12 +89,86 @@ class ValidationEngine:
         return predictions, per_layer
 
     def discrepancies(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Batched Algorithm 2: ``(predictions, D)`` for a batch of images."""
+        """Batched Algorithm 2: ``(predictions, D)`` for a batch of images.
+
+        An empty batch short-circuits to ``(0,)``/``(0, L)`` results
+        without touching the model — serving paths see ``n=0`` windows
+        whenever every input of a batch was quarantined upstream.
+        """
         if not self.validator.validators:
             raise RuntimeError("DeepValidator is not fitted")
         images = np.asarray(images)
+        if len(images) == 0:
+            return self._empty_result()
         key = hash_array(images)
         return self.cache.get_or_compute(key, lambda: self._compute(images))
+
+    def discrepancies_resilient(
+        self, images: np.ndarray, skip: frozenset[int] | set[int] = frozenset()
+    ) -> tuple[np.ndarray, np.ndarray, dict[int, Exception]]:
+        """Per-layer-isolated Algorithm 2: ``(predictions, D, layer_errors)``.
+
+        The fault-tolerant counterpart of :meth:`discrepancies` used by
+        :class:`~repro.core.monitor.RuntimeMonitor`: each layer validator
+        is scored inside its own try/except, so one broken scorer yields a
+        NaN column and an entry in ``layer_errors`` (keyed by layer
+        *position* in the validated-layer list) instead of aborting the
+        batch. Positions in ``skip`` (open-circuited layers) are not
+        evaluated at all and also come back as NaN columns.
+
+        When nothing is skipped and nothing fails, the result is
+        bit-identical to :meth:`discrepancies` — same operations in the
+        same order — and is stored under the same cache key, so recovered
+        serving traffic immediately shares the normal path's cache.
+        Results containing skipped or failed columns are never cached
+        (a cached failure would mask recovery).
+        """
+        if not self.validator.validators:
+            raise RuntimeError("DeepValidator is not fitted")
+        images = np.asarray(images)
+        if len(images) == 0:
+            predictions, per_layer = self._empty_result()
+            return predictions, per_layer, {}
+        key = hash_array(images)
+        if not skip:
+            cached = self.cache.get(key)
+            if cached is not None:
+                predictions, per_layer = cached
+                return predictions, per_layer, {}
+        probabilities, representations = self.model.hidden_representations(
+            images, batch_size=self.chunk_size
+        )
+        predictions = probabilities.argmax(axis=1)
+        errors: dict[int, Exception] = {}
+        columns = []
+        for position, validator in enumerate(self.validator.validators):
+            if position in skip:
+                columns.append(np.full(len(images), np.nan))
+                continue
+            try:
+                # A numerically-broken layer (NaN/Inf representations)
+                # must surface as NaN discrepancies the monitor can see,
+                # not as numpy RuntimeWarnings spamming serving logs.
+                with np.errstate(invalid="ignore", over="ignore"):
+                    columns.append(
+                        validator.discrepancy_batched(
+                            representations[validator.layer_index],
+                            predictions,
+                            chunk_size=self.chunk_size,
+                        )
+                    )
+            except Exception as exc:  # noqa: BLE001 — isolation is the contract
+                errors[position] = exc
+                columns.append(np.full(len(images), np.nan))
+        per_layer = np.stack(columns, axis=1)
+        predictions.flags.writeable = False
+        per_layer.flags.writeable = False
+        # Never memoise a faulty result: a cached NaN column (a raising
+        # scorer leaves one, but so does a silently-NaN substrate) would
+        # keep serving the failure long after the layer recovered.
+        if not skip and not errors and np.isfinite(per_layer).all():
+            self.cache.put(key, (predictions, per_layer))
+        return predictions, per_layer, errors
 
     def joint_discrepancy(self, images: np.ndarray) -> np.ndarray:
         """The joint discrepancy ``d`` (Eq. 3) via the batched path."""

@@ -33,7 +33,6 @@ hypothesis suite in ``tests/test_fitting_determinism.py``.
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,10 +40,15 @@ import numpy as np
 from repro.svm.oneclass import OneClassSVM
 from repro.svm.scaler import StandardScaler
 from repro.utils.rng import new_rng
+from repro.utils.warnings_ import emit_warning
 
 
 class ParallelFitWarning(RuntimeWarning):
-    """Raised (as a warning) when parallel fitting falls back to in-process."""
+    """Raised (as a warning) when parallel fitting falls back to in-process.
+
+    Emitted through :func:`repro.utils.warnings_.emit_warning`, so
+    ``REPRO_STRICT=1`` escalates the silent fallback into an error.
+    """
 
 
 @dataclass(frozen=True)
@@ -255,7 +259,7 @@ def solve_tasks(
             with _make_pool(min(n_jobs, len(payloads))) as pool:
                 return dict(pool.map(_solve_fit_task, payloads))
         except Exception as exc:  # noqa: BLE001 — robustness is the contract
-            warnings.warn(
+            emit_warning(
                 f"parallel fit (n_jobs={n_jobs}) failed with "
                 f"{type(exc).__name__}: {exc}; falling back to in-process fitting",
                 ParallelFitWarning,

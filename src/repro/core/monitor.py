@@ -3,34 +3,85 @@
 The paper motivates Deep Validation as a fail-safe building block: when the
 joint discrepancy of an input exceeds the threshold, the system should
 withhold the classifier's decision and call for human intervention. This
-module packages that behaviour behind a single ``classify`` call.
+module packages that behaviour behind a single ``classify`` call — and
+makes the wrapper itself fail-safe. A production monitor must be at least
+as robust as the classifier it guards, so ``classify`` never raises on bad
+inputs or a partially broken scoring substrate:
+
+* malformed inputs (wrong shape/dtype, NaN pixels, out-of-range values)
+  are intercepted by an :class:`~repro.core.resilience.InputGuard` and
+  returned as structured ``QUARANTINED`` verdicts;
+* a layer validator that raises or produces non-finite discrepancies is
+  dropped from the joint score for that batch (``DEGRADED`` verdicts, with
+  the skipped layers recorded) and its failures feed a per-layer
+  :class:`~repro.core.resilience.CircuitBreaker` — persistently broken
+  layers are skipped without being evaluated until a cooldown expires;
+* if every layer is unavailable, or the forward pass itself fails, the
+  batch is quarantined — fail-safe rejection, never an unhandled
+  exception.
+
+Operators observe partial failure through :meth:`RuntimeMonitor.health`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.core import resilience
+from repro.core.resilience import (
+    CircuitBreaker,
+    DegradedModeWarning,
+    DegradedScorer,
+    InputGuard,
+)
 from repro.core.validator import DeepValidator
+from repro.utils.warnings_ import emit_warning
 
 
 @dataclass
 class ValidationVerdict:
-    """Outcome of classifying one image under runtime validation."""
+    """Outcome of classifying one image under runtime validation.
+
+    ``status`` is one of ``VALIDATED`` (scored on every layer, accepted),
+    ``FLAGGED`` (scored on every layer, joint discrepancy above epsilon),
+    ``DEGRADED`` (scored with one or more layer validators skipped —
+    ``accepted`` still carries the rescaled accept/flag decision and
+    ``skipped_layers`` names the missing columns), or ``QUARANTINED``
+    (not scored at all; ``prediction`` is ``-1``, ``joint_discrepancy``
+    is NaN, and ``reason`` explains why). ``accepted`` is ``True`` only
+    when the input was actually scored and fell below the threshold.
+    """
 
     prediction: int
     joint_discrepancy: float
     per_layer: np.ndarray
     accepted: bool
+    status: str = resilience.VALIDATED
+    skipped_layers: tuple[str, ...] = ()
+    reason: str | None = None
 
     def __repr__(self) -> str:
-        status = "accepted" if self.accepted else "REJECTED"
+        label = "accepted" if self.accepted else "REJECTED"
+        extra = ""
+        if self.status not in (resilience.VALIDATED, resilience.FLAGGED):
+            extra = f", status={self.status}"
         return (
             f"ValidationVerdict(prediction={self.prediction}, "
-            f"d={self.joint_discrepancy:.4f}, {status})"
+            f"d={self.joint_discrepancy:.4f}, {label}{extra})"
         )
+
+
+@dataclass
+class _LayerHealth:
+    """Per-layer failure bookkeeping surfaced by ``RuntimeMonitor.health``."""
+
+    breaker: CircuitBreaker
+    last_error: str | None = None
+    skipped_batches: int = 0
 
 
 class RuntimeMonitor:
@@ -41,50 +92,247 @@ class RuntimeMonitor:
     validator:
         A fitted ``DeepValidator`` with a calibrated ``epsilon``.
     on_reject:
-        Optional callback invoked with each rejected verdict — the hook for
-        human intervention / fail-safe handling.
+        Optional callback invoked with each rejected (flagged, degraded-
+        rejected, or quarantined) verdict — the hook for human
+        intervention / fail-safe handling.
+    guard:
+        Input-contract checks applied before the forward pass. Defaults to
+        a permissive :class:`InputGuard` (numeric dtype, 4-D batch,
+        finite values); pass a configured guard to pin shape and range.
+    breaker_threshold / breaker_cooldown / clock:
+        Per-layer circuit-breaker tuning: consecutive failures before a
+        layer is open-circuited, seconds before a half-open re-probe, and
+        an injectable monotonic clock for deterministic tests.
     """
 
     def __init__(
         self,
         validator: DeepValidator,
         on_reject: Callable[[ValidationVerdict], None] | None = None,
+        guard: InputGuard | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.validator = validator
         self.on_reject = on_reject
-        self.stats = {"accepted": 0, "rejected": 0}
+        self.guard = guard if guard is not None else InputGuard()
+        self.scorer = DegradedScorer(validator)
+        self._clock = clock if clock is not None else time.monotonic
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._layers: dict[int, _LayerHealth] = {}
+        self.stats = {
+            "accepted": 0,
+            "rejected": 0,
+            "quarantined": 0,
+            "degraded": 0,
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _layer_health(self, position: int) -> _LayerHealth:
+        if position not in self._layers:
+            self._layers[position] = _LayerHealth(
+                CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    cooldown=self._breaker_cooldown,
+                    clock=self._clock,
+                )
+            )
+        return self._layers[position]
+
+    def _layer_name(self, position: int) -> str:
+        validators = self.validator.validators
+        if position < len(validators):
+            return validators[position].layer_name
+        return f"layer{position}"
+
+    def _quarantine_verdict(self, reason: str) -> ValidationVerdict:
+        n_layers = max(len(self.validator.validators), 1)
+        return ValidationVerdict(
+            prediction=-1,
+            joint_discrepancy=float("nan"),
+            per_layer=np.full(n_layers, np.nan),
+            accepted=False,
+            status=resilience.QUARANTINED,
+            reason=reason,
+        )
+
+    def _finish(self, verdict: ValidationVerdict) -> ValidationVerdict:
+        if verdict.status == resilience.QUARANTINED:
+            self.stats["quarantined"] += 1
+        else:
+            if verdict.status == resilience.DEGRADED:
+                self.stats["degraded"] += 1
+            self.stats["accepted" if verdict.accepted else "rejected"] += 1
+        if not verdict.accepted and self.on_reject is not None:
+            self.on_reject(verdict)
+        return verdict
+
+    # -- serving ---------------------------------------------------------------
 
     def classify(self, images: np.ndarray) -> list[ValidationVerdict]:
         """Classify a batch, validating every internal state (Figure 1).
 
         Scoring goes through the batched
-        :class:`~repro.core.engine.ValidationEngine`, so monitoring
-        traffic pays one stacked kernel evaluation per layer regardless of
-        batch size, and replayed windows hit the engine's score cache.
+        :class:`~repro.core.engine.ValidationEngine`'s fault-isolated
+        path, so monitoring traffic pays one stacked kernel evaluation
+        per healthy layer regardless of batch size, replayed windows hit
+        the engine's score cache, and a broken layer or malformed input
+        degrades the verdict instead of raising. Verdicts come back in
+        input order, one per image.
         """
-        images = np.asarray(images)
-        if images.ndim == 3:
-            images = images[None]
-        predictions, per_layer = self.validator.engine().discrepancies(images)
-        joints = self.validator.combine(per_layer)
+        report = self.guard.inspect(images)
+        if report.batch_reason is not None:
+            return [
+                self._finish(self._quarantine_verdict(report.batch_reason))
+                for _ in range(report.count)
+            ]
+        batch = report.images
+        ok_mask = report.ok_mask
+        scored = self._score(batch[ok_mask]) if ok_mask.any() else []
+        verdicts: list[ValidationVerdict] = []
+        scored_iter = iter(scored)
+        for index in range(report.count):
+            if index in report.sample_reasons:
+                verdicts.append(
+                    self._finish(
+                        self._quarantine_verdict(report.sample_reasons[index])
+                    )
+                )
+            else:
+                verdicts.append(self._finish(next(scored_iter)))
+        return verdicts
+
+    def _score(self, images: np.ndarray) -> list[ValidationVerdict]:
+        """Score guard-approved images, isolating substrate failures."""
+        n_layers = len(self.validator.validators)
+        skip = {
+            position
+            for position in range(n_layers)
+            if not self._layer_health(position).breaker.allow()
+        }
+        for position in skip:
+            self._layers[position].skipped_batches += 1
+        try:
+            predictions, per_layer, errors = (
+                self.validator.engine().discrepancies_resilient(images, skip=skip)
+            )
+        except Exception as exc:  # noqa: BLE001 — fail-safe, never raise
+            emit_warning(
+                f"validation scoring failed wholesale ({type(exc).__name__}: "
+                f"{exc}); quarantining the batch",
+                DegradedModeWarning,
+            )
+            return [
+                self._quarantine_verdict(
+                    f"scoring failed: {type(exc).__name__}: {exc}"
+                )
+                for _ in range(len(images))
+            ]
+
+        # A layer that raised, or whose column contains non-finite values
+        # (e.g. NaN activations upstream), failed for this batch.
+        failed: set[int] = set(errors)
+        for position in range(n_layers):
+            if position in skip or position in errors:
+                continue
+            if not np.isfinite(per_layer[:, position]).all():
+                failed.add(position)
+        for position in range(n_layers):
+            health = self._layer_health(position)
+            if position in skip:
+                continue
+            if position in failed:
+                error = errors.get(position)
+                health.last_error = (
+                    f"{type(error).__name__}: {error}"
+                    if error is not None
+                    else "non-finite discrepancies"
+                )
+                health.breaker.record_failure()
+            else:
+                health.breaker.record_success()
+
+        dropped = skip | failed
+        if dropped:
+            names = tuple(sorted(self._layer_name(p) for p in dropped))
+            if len(dropped) >= n_layers:
+                emit_warning(
+                    f"all {n_layers} layer validators unavailable "
+                    f"({', '.join(names)}); quarantining the batch",
+                    DegradedModeWarning,
+                )
+                return [
+                    self._quarantine_verdict("no healthy layer validators")
+                    for _ in range(len(images))
+                ]
+            emit_warning(
+                "degraded-mode scoring: skipped layer validators "
+                f"{', '.join(names)}",
+                DegradedModeWarning,
+            )
+        else:
+            names = ()
+
+        joints = self.scorer.combine(per_layer, frozenset(dropped))
         verdicts = []
         for prediction, row, joint in zip(predictions, per_layer, joints):
             accepted = bool(joint <= self.validator.epsilon)
-            verdict = ValidationVerdict(
-                prediction=int(prediction),
-                joint_discrepancy=float(joint),
-                per_layer=row,
-                accepted=accepted,
+            if dropped:
+                status = resilience.DEGRADED
+            else:
+                status = resilience.VALIDATED if accepted else resilience.FLAGGED
+            verdicts.append(
+                ValidationVerdict(
+                    prediction=int(prediction),
+                    joint_discrepancy=float(joint),
+                    per_layer=row,
+                    accepted=accepted,
+                    status=status,
+                    skipped_layers=names,
+                )
             )
-            self.stats["accepted" if accepted else "rejected"] += 1
-            if not accepted and self.on_reject is not None:
-                self.on_reject(verdict)
-            verdicts.append(verdict)
         return verdicts
+
+    # -- observability ---------------------------------------------------------
 
     @property
     def rejection_rate(self) -> float:
+        """Fraction of *scored* inputs rejected; NaN before any scoring.
+
+        Quarantined inputs are excluded — they were never scored, and are
+        tallied separately under ``stats["quarantined"]``. Returns
+        ``float("nan")`` (rather than raising) when nothing has been
+        scored yet, so dashboards can poll it unconditionally.
+        """
         total = self.stats["accepted"] + self.stats["rejected"]
         if total == 0:
-            raise ValueError("no images classified yet")
+            return float("nan")
         return self.stats["rejected"] / total
+
+    def health(self) -> dict:
+        """Operator snapshot: per-layer breaker states plus verdict tallies.
+
+        ``layers`` maps each validated layer's name to its circuit-breaker
+        snapshot (state, failure counts, times opened), the last recorded
+        error, and how many batches were served while it was skipped.
+        ``counts`` mirrors ``stats``; ``quarantined`` and
+        ``rejection_rate`` are surfaced at the top level for dashboards.
+        """
+        layers = {}
+        for position in range(len(self.validator.validators)):
+            health = self._layer_health(position)
+            layers[self._layer_name(position)] = {
+                **health.breaker.snapshot(),
+                "last_error": health.last_error,
+                "skipped_batches": health.skipped_batches,
+            }
+        rate = self.rejection_rate
+        return {
+            "layers": layers,
+            "counts": dict(self.stats),
+            "quarantined": self.stats["quarantined"],
+            "rejection_rate": rate,
+        }

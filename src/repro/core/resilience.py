@@ -1,0 +1,331 @@
+"""Resilience layer for the validation serving stack.
+
+Deep Validation's premise is that the *classifier* fails on corner-case
+inputs — but a production monitor must also survive failures of its own
+substrate: NaN activations from a numerically-broken layer, a scorer that
+starts raising, an input that violates the serving contract. This module
+provides the three building blocks :class:`~repro.core.monitor.RuntimeMonitor`
+composes into a fault-tolerant serving path:
+
+* :class:`InputGuard` — shape/dtype/range/finiteness contract checks that
+  turn malformed inputs into structured ``QUARANTINED`` verdicts instead of
+  exceptions deep inside the forward pass;
+* :class:`CircuitBreaker` — per-layer failure accounting with the classic
+  closed → open → half-open lifecycle, so a persistently broken layer
+  validator is skipped outright (no latency spent on a known-bad scorer)
+  and re-probed after a cooldown;
+* :class:`DegradedScorer` — when one or more layer validators are skipped
+  or fail, drops those columns from the joint discrepancy and rescales the
+  remaining sum (and hence the effective threshold) by the calibrated
+  per-layer contributions, so flagging stays meaningful instead of biased
+  toward acceptance. With zero layers skipped it defers to
+  ``DeepValidator.combine`` unchanged, so the fault-free path is
+  bit-identical to normal scoring.
+
+Degraded scoring announces itself with :class:`DegradedModeWarning`
+(escalatable to an error via ``REPRO_STRICT=1``, see
+:mod:`repro.utils.warnings_`), and every skipped layer is recorded on the
+verdict so operators can see partial failure instead of silence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+#: Verdict statuses (see :class:`~repro.core.monitor.ValidationVerdict`).
+VALIDATED = "VALIDATED"
+FLAGGED = "FLAGGED"
+QUARANTINED = "QUARANTINED"
+DEGRADED = "DEGRADED"
+
+#: Every status a verdict can carry.
+STATUSES = (VALIDATED, FLAGGED, QUARANTINED, DEGRADED)
+
+
+class DegradedModeWarning(RuntimeWarning):
+    """Emitted when scoring proceeds with one or more layer validators skipped."""
+
+
+# -- input contract ------------------------------------------------------------
+
+
+@dataclass
+class GuardReport:
+    """Structured outcome of :meth:`InputGuard.inspect`.
+
+    ``images`` is the sanitised ``(N, ...)`` batch (``None`` when the batch
+    as a whole violates the contract and per-sample recovery is
+    impossible); ``batch_reason`` explains a whole-batch rejection;
+    ``sample_reasons`` maps the indices of individually quarantined samples
+    to human-readable reasons.
+    """
+
+    images: np.ndarray | None
+    count: int
+    batch_reason: str | None = None
+    sample_reasons: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def ok_mask(self) -> np.ndarray:
+        """Boolean mask over the batch of samples that passed every check."""
+        mask = np.ones(self.count, dtype=bool)
+        if self.batch_reason is not None:
+            mask[:] = False
+        else:
+            for index in self.sample_reasons:
+                mask[index] = False
+        return mask
+
+
+class InputGuard:
+    """Serving-contract checks applied before any forward pass.
+
+    Parameters
+    ----------
+    expected_shape:
+        Per-image shape (e.g. ``(1, 12, 12)``); ``None`` accepts any.
+    value_range:
+        Inclusive ``(low, high)`` bounds on pixel values; ``None`` skips
+        the check.
+    require_finite:
+        Quarantine samples containing NaN or Inf (the default — a NaN
+        pixel otherwise poisons every downstream activation).
+    allowed_kinds:
+        Accepted numpy dtype kinds (default: floats, ints, unsigned ints,
+        bools). Object/string batches are rejected wholesale.
+    """
+
+    def __init__(
+        self,
+        expected_shape: tuple[int, ...] | None = None,
+        value_range: tuple[float, float] | None = None,
+        require_finite: bool = True,
+        allowed_kinds: str = "fiub",
+    ) -> None:
+        if value_range is not None and value_range[0] > value_range[1]:
+            raise ValueError(f"value_range low > high: {value_range}")
+        self.expected_shape = tuple(expected_shape) if expected_shape else None
+        self.value_range = value_range
+        self.require_finite = require_finite
+        self.allowed_kinds = allowed_kinds
+
+    def inspect(self, images) -> GuardReport:
+        """Check a batch against the contract; never raises on bad input.
+
+        A 3-D input is promoted to a singleton batch (matching the
+        monitor's historical behaviour). Whole-batch violations (wrong
+        dtype kind, wrong rank, wrong per-image shape) quarantine every
+        sample; value violations (non-finite pixels, out-of-range values)
+        quarantine only the offending samples.
+        """
+        try:
+            array = np.asarray(images)
+        except Exception as exc:  # noqa: BLE001 — the contract is "never raise"
+            return GuardReport(
+                None, 1, batch_reason=f"input not convertible to an array: {exc}"
+            )
+        if array.dtype.kind not in self.allowed_kinds:
+            count = len(array) if array.ndim >= 1 else 1
+            return GuardReport(
+                None, max(count, 1),
+                batch_reason=f"unsupported dtype kind {array.dtype!s}",
+            )
+        if array.ndim == 3:
+            array = array[None]
+        if array.ndim != 4:
+            count = len(array) if array.ndim >= 1 else 1
+            return GuardReport(
+                None, max(count, 1),
+                batch_reason=f"expected a (N, C, H, W) batch, got shape {array.shape}",
+            )
+        if self.expected_shape is not None and array.shape[1:] != self.expected_shape:
+            return GuardReport(
+                None, len(array),
+                batch_reason=(
+                    f"per-image shape {array.shape[1:]} != expected "
+                    f"{self.expected_shape}"
+                ),
+            )
+        reasons: dict[int, str] = {}
+        if len(array) and array.dtype.kind == "f":
+            if self.require_finite:
+                finite = np.isfinite(array.reshape(len(array), -1)).all(axis=1)
+                for index in np.flatnonzero(~finite):
+                    reasons[int(index)] = "non-finite pixel values (NaN/Inf)"
+        if len(array) and self.value_range is not None:
+            low, high = self.value_range
+            flat = array.reshape(len(array), -1)
+            with np.errstate(invalid="ignore"):
+                bad = (flat < low) | (flat > high)
+            for index in np.flatnonzero(bad.any(axis=1)):
+                index = int(index)
+                if index not in reasons:
+                    reasons[index] = f"pixel values outside [{low}, {high}]"
+        return GuardReport(array, len(array), sample_reasons=reasons)
+
+
+# -- per-layer circuit breaking ------------------------------------------------
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    Closed: every call is allowed. After ``failure_threshold`` consecutive
+    failures the breaker opens: calls are disallowed (the layer is skipped
+    without being evaluated) until ``cooldown`` seconds elapse, after which
+    the breaker half-opens and allows a single probe — success closes it,
+    failure re-opens it and restarts the cooldown.
+
+    ``clock`` is injectable (default ``time.monotonic``) so tests drive
+    the lifecycle deterministically.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._state = self.CLOSED
+        self._opened_at: float | None = None
+        self.failures = 0
+        self.successes = 0
+        self.consecutive_failures = 0
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, transitioning open → half-open once cooled down."""
+        if self._state == self.OPEN and (
+            self.clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the guarded call should be attempted right now."""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        """Note a successful call; closes a half-open breaker."""
+        self.successes += 1
+        self.consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self._state = self.CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        """Note a failed call; may trip the breaker open."""
+        self.failures += 1
+        self.consecutive_failures += 1
+        state = self.state
+        if state == self.HALF_OPEN or (
+            state == self.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._state = self.OPEN
+            self._opened_at = self.clock()
+            self.times_opened += 1
+
+    def snapshot(self) -> dict:
+        """Operator-facing state summary (used by ``RuntimeMonitor.health``)."""
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "successes": self.successes,
+            "consecutive_failures": self.consecutive_failures,
+            "times_opened": self.times_opened,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, failures={self.failures}, "
+            f"threshold={self.failure_threshold})"
+        )
+
+
+# -- degraded-mode scoring -----------------------------------------------------
+
+
+class DegradedScorer:
+    """Joint-discrepancy combiner that tolerates missing layer columns.
+
+    With no skipped layers this defers to ``DeepValidator.combine`` — the
+    fault-free path is bit-identical to normal scoring. With skipped
+    layers, the surviving columns are combined and, for the ``"sum"``
+    combiner, rescaled by the calibrated per-layer contribution ratio
+    ``total / active`` so the degraded sum — and therefore the comparison
+    against the unchanged ``epsilon`` — stays commensurable with the
+    full-layer score (rescaling the sum up is algebraically identical to
+    rescaling the threshold down). ``"mean"``/``"max"`` combine the active
+    columns directly; ``"last"`` falls back to the rearmost active layer.
+
+    Calibrated contributions come from
+    ``DeepValidator.layer_contributions`` (recorded by
+    ``calibrate_threshold`` as the mean absolute weighted per-layer
+    discrepancy over the calibration sets); validators calibrated before
+    this field existed fall back to uniform contributions.
+    """
+
+    def __init__(self, validator) -> None:
+        self.validator = validator
+
+    def contributions(self) -> np.ndarray:
+        """Per-layer contribution magnitudes (uniform when uncalibrated)."""
+        n_layers = len(self.validator.layer_indices)
+        recorded = getattr(self.validator, "layer_contributions", None)
+        if recorded is not None and len(recorded) == n_layers:
+            recorded = np.asarray(recorded, dtype=np.float64)
+            if np.all(np.isfinite(recorded)) and recorded.sum() > 0:
+                return recorded
+        return np.ones(n_layers)
+
+    def combine(
+        self, per_layer: np.ndarray, skipped: frozenset[int] | set[int]
+    ) -> np.ndarray:
+        """Joint discrepancy over the active layers only.
+
+        ``skipped`` holds positions (indices into the validated-layer
+        list) excluded from the combination; their columns are ignored
+        entirely, so NaN placeholders never leak into the score.
+        """
+        if not skipped:
+            return self.validator.combine(per_layer)
+        config = self.validator.config
+        n_layers = per_layer.shape[1]
+        active = np.array(
+            [i for i in range(n_layers) if i not in skipped], dtype=np.intp
+        )
+        if len(active) == 0:
+            return np.full(len(per_layer), np.nan)
+        columns = per_layer[:, active]
+        if config.weights is not None:
+            columns = columns * np.asarray(config.weights)[active][None, :]
+        if config.combiner == "sum":
+            contributions = self.contributions()
+            total = contributions.sum()
+            active_total = contributions[active].sum()
+            scale = total / active_total if active_total > 0 else (
+                n_layers / len(active)
+            )
+            return columns.sum(axis=1) * scale
+        if config.combiner == "mean":
+            return columns.mean(axis=1)
+        if config.combiner == "max":
+            return columns.max(axis=1)
+        return columns[:, -1]  # "last": rearmost surviving layer

@@ -269,6 +269,9 @@ class DeepValidator:
             )
         self.validators: list[LayerValidator] = []
         self.epsilon: float = 0.0
+        #: Mean |weighted per-layer discrepancy| from calibration; consumed
+        #: by degraded-mode rescaling. ``None`` until calibrated.
+        self.layer_contributions: np.ndarray | None = None
         self.fit_summary = _FitSummary()
 
     # -- Algorithm 1 -----------------------------------------------------------
@@ -338,6 +341,11 @@ class DeepValidator:
         instead.
         """
         self._check_fitted()
+        images = np.asarray(images)
+        if len(images) == 0:
+            # Mirror the engine's empty-batch short-circuit so the two
+            # paths agree on n=0 without touching the model.
+            return np.empty(0, dtype=np.int64), np.empty((0, len(self.validators)))
         probabilities, representations = self.model.hidden_representations(images)
         predictions = probabilities.argmax(axis=1)
         columns = [
@@ -407,11 +415,24 @@ class DeepValidator:
         corner-case discrepancies trades off TPR against FPR. Scores come
         from the batched engine, whose cache makes a subsequent
         :meth:`flag` of the same images free.
+
+        Calibration also records ``layer_contributions`` — the mean
+        absolute weighted per-layer discrepancy over both calibration sets
+        — which degraded-mode scoring uses to rescale the joint sum when a
+        layer validator is skipped (see
+        :class:`~repro.core.resilience.DegradedScorer`).
         """
         from repro.core.thresholds import centroid_threshold
 
-        clean = self.joint_discrepancy(clean_images)
-        corner = self.joint_discrepancy(corner_images)
+        engine = self.engine()
+        _, clean_per_layer = engine.discrepancies(clean_images)
+        _, corner_per_layer = engine.discrepancies(corner_images)
+        stacked = np.concatenate([clean_per_layer, corner_per_layer], axis=0)
+        if self.config.weights is not None:
+            stacked = stacked * np.asarray(self.config.weights)[None, :]
+        self.layer_contributions = np.abs(stacked).mean(axis=0)
+        clean = self.combine(clean_per_layer)
+        corner = self.combine(corner_per_layer)
         self.epsilon = centroid_threshold(clean, corner)
         return self.epsilon
 

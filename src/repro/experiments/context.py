@@ -75,6 +75,24 @@ class ExperimentContext:
         names = self.model.probe_names
         return [names[i] for i in self.validator.layer_indices]
 
+    def monitor(self, **kwargs):
+        """A fault-tolerant :class:`~repro.core.monitor.RuntimeMonitor`.
+
+        The input guard is pinned to this dataset's per-image shape, so
+        malformed traffic is quarantined instead of crashing the forward
+        pass; breaker tuning and callbacks pass through via ``kwargs``.
+        A fresh monitor is built per call — health counters and breaker
+        state belong to the caller, not the cached context.
+        """
+        from repro.core.monitor import RuntimeMonitor
+        from repro.core.resilience import InputGuard
+
+        kwargs.setdefault(
+            "guard",
+            InputGuard(expected_shape=self.classifier.dataset.train_images.shape[1:]),
+        )
+        return RuntimeMonitor(self.validator, **kwargs)
+
 
 def _build_context(dataset_name: str, profile: str, seed: int) -> ExperimentContext:
     classifier = get_trained_classifier(dataset_name, profile, seed=seed)

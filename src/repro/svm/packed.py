@@ -126,6 +126,10 @@ class PackedClassSVMs:
         predicted = np.asarray(predicted)
         if len(features) != len(predicted):
             raise ValueError("features and predicted must have equal length")
+        if len(features) == 0:
+            # Fully-quarantined serving windows score zero samples; skip
+            # the GEMM machinery rather than stressing its edge cases.
+            return np.empty(0)
         positions = self.class_positions(predicted)
         out = np.empty(len(features))
         step = len(features) if chunk_size is None else max(1, chunk_size)

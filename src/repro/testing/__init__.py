@@ -1,0 +1,24 @@
+"""Test-support subpackage: deterministic fault injection for resilience tests.
+
+Nothing here runs in production serving paths; :mod:`repro.testing.faults`
+exists so the resilience suite (and operators rehearsing incident
+response) can inject the failure modes the serving stack claims to
+survive — NaN activations, corrupt artifacts, failing scorers, dying
+worker pools — deterministically and reversibly.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    corrupt_artifact,
+    dead_fit_pool,
+    fail_packed_scorer,
+    nan_activations,
+)
+
+__all__ = [
+    "FaultPlan",
+    "corrupt_artifact",
+    "dead_fit_pool",
+    "fail_packed_scorer",
+    "nan_activations",
+]

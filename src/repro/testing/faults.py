@@ -1,0 +1,285 @@
+"""Deterministic fault injection for the validation serving stack.
+
+Each injector is a context manager that installs a fault on entry and
+fully restores the patched object on exit, so tests compose them freely
+and never leak state. All randomness (e.g. which bit of an artifact gets
+flipped) flows from an explicit seed — the same plan always injects the
+same fault, which keeps hypothesis shrinking and failure reproduction
+deterministic.
+
+The four fault classes mirror the resilience layer's threat model:
+
+* :func:`nan_activations` — a numerically-broken layer: the chosen probe's
+  hidden representations are overwritten with NaN (or Inf) before any
+  validator sees them;
+* :func:`corrupt_artifact` — storage rot: a cached pickle is bit-flipped
+  or truncated on disk (optionally with its checksum sidecar refreshed,
+  to exercise the unpickling-error path rather than the checksum path);
+* :func:`fail_packed_scorer` — a scorer that starts raising: the packed
+  batched scorer of one layer validator fails on chosen call numbers;
+* :func:`dead_fit_pool` — worker death: the fitting pipeline's
+  multiprocessing pool dies on dispatch, exercising the in-process
+  fallback.
+
+:class:`FaultPlan` bundles any number of these into one declarative,
+reusable plan::
+
+    plan = (FaultPlan()
+            .nan_activations(model, layer_index=1)
+            .fail_packed_scorer(validator.validators[0], nth=2))
+    with plan.apply():
+        verdicts = monitor.classify(images)   # must degrade, not raise
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+
+# -- activation faults ---------------------------------------------------------
+
+
+@contextlib.contextmanager
+def nan_activations(model, layer_index: int, value: float = float("nan")) -> Iterator[None]:
+    """Overwrite one probe's hidden representations with ``value``.
+
+    Patches ``model.iter_hidden_representations`` (the single chokepoint
+    both the materialising and streaming representation paths flow
+    through) on the *instance*, so only this model object is affected and
+    the class stays untouched. Predictions still come from the real
+    forward pass — the fault models a broken probe/validator substrate,
+    not a broken classifier.
+    """
+    # Stacked injections patch over each other, so remember whether an
+    # instance-level patch was already present (restore it) or not
+    # (delete ours to uncover the class method).
+    had_instance_attr = "iter_hidden_representations" in model.__dict__
+    original = model.iter_hidden_representations
+
+    def corrupted(images, batch_size: int = 256):
+        for start, probabilities, reps in original(images, batch_size=batch_size):
+            reps = list(reps)
+            reps[layer_index] = np.full_like(reps[layer_index], value)
+            yield start, probabilities, reps
+
+    model.iter_hidden_representations = corrupted
+    try:
+        yield
+    finally:
+        if had_instance_attr:
+            model.iter_hidden_representations = original
+        else:
+            del model.iter_hidden_representations  # uncover the class method
+
+
+# -- artifact faults -----------------------------------------------------------
+
+
+@contextlib.contextmanager
+def corrupt_artifact(
+    cache,
+    name: str,
+    config: Any,
+    mode: str = "bitflip",
+    seed: int = 0,
+    refresh_checksum: bool = False,
+) -> Iterator[None]:
+    """Corrupt a cached artifact on disk, restoring the original on exit.
+
+    ``mode="bitflip"`` flips one bit at a seed-determined offset (the
+    pickle often still loads — only the checksum catches it);
+    ``mode="truncate"`` cuts the file in half (an interrupted write).
+    ``refresh_checksum`` re-writes the sidecar to match the corrupted
+    bytes, so the corruption must be caught by unpickling rather than by
+    integrity verification. The original pickle and sidecar bytes are
+    restored on exit even if the entry was quarantined in between.
+    """
+    if mode not in {"bitflip", "truncate"}:
+        raise ValueError(f"mode must be 'bitflip' or 'truncate', got {mode!r}")
+    path = cache.path_for(name, config)
+    sidecar = cache.checksum_path_for(name, config)
+    original = path.read_bytes()
+    original_sidecar = sidecar.read_bytes() if sidecar.exists() else None
+
+    payload = bytearray(original)
+    if mode == "bitflip":
+        rng = np.random.default_rng(seed)
+        # Skip the pickle protocol header so the file stays recognisably
+        # a pickle — the interesting corruption is in the payload.
+        offset = int(rng.integers(2, max(3, len(payload))))
+        payload[offset] ^= 1 << int(rng.integers(0, 8))
+    else:
+        payload = payload[: max(1, len(payload) // 2)]
+    path.write_bytes(bytes(payload))
+    if refresh_checksum:
+        import hashlib
+
+        sidecar.write_text(hashlib.sha256(bytes(payload)).hexdigest() + "\n")
+    try:
+        yield
+    finally:
+        path.write_bytes(original)
+        if original_sidecar is not None:
+            sidecar.write_bytes(original_sidecar)
+        elif sidecar.exists():
+            sidecar.unlink()
+
+
+# -- scorer faults -------------------------------------------------------------
+
+
+class InjectedScorerError(RuntimeError):
+    """The exception raised by :func:`fail_packed_scorer` injections."""
+
+
+@contextlib.contextmanager
+def fail_packed_scorer(
+    layer_validator,
+    nth: int = 1,
+    count: int = 1,
+    exc_factory: Callable[[], Exception] | None = None,
+) -> Iterator[dict]:
+    """Make one layer's batched scorer fail on chosen call numbers.
+
+    Calls ``nth .. nth+count-1`` (1-based) of
+    ``layer_validator.discrepancy_batched`` raise; ``count=0`` never
+    fails (useful in generated plans); a negative ``count`` fails every
+    call from ``nth`` on. Yields a mutable stats dict whose ``"calls"``
+    entry counts invocations, so tests can assert the fault actually
+    fired.
+    """
+    had_instance_attr = "discrepancy_batched" in layer_validator.__dict__
+    original = layer_validator.discrepancy_batched
+    stats = {"calls": 0, "failures": 0}
+
+    def flaky(representations, predicted, chunk_size=None):
+        stats["calls"] += 1
+        call = stats["calls"]
+        if call >= nth and (count < 0 or call < nth + count):
+            stats["failures"] += 1
+            raise (
+                exc_factory()
+                if exc_factory is not None
+                else InjectedScorerError(
+                    f"injected packed-scorer fault on call {call} "
+                    f"(layer {layer_validator.layer_name!r})"
+                )
+            )
+        return original(representations, predicted, chunk_size=chunk_size)
+
+    layer_validator.discrepancy_batched = flaky
+    try:
+        yield stats
+    finally:
+        if had_instance_attr:
+            layer_validator.discrepancy_batched = original
+        else:
+            del layer_validator.discrepancy_batched
+
+
+# -- worker-pool faults --------------------------------------------------------
+
+
+class _DeadPool:
+    """A pool whose workers are already dead: every dispatch raises."""
+
+    def __enter__(self) -> "_DeadPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def map(self, func, iterable):
+        """Simulate worker death mid-dispatch."""
+        raise BrokenPipeError("injected fault: worker pool died mid-dispatch")
+
+
+@contextlib.contextmanager
+def dead_fit_pool() -> Iterator[None]:
+    """Make ``solve_tasks``'s multiprocessing pool die on dispatch.
+
+    Patches :func:`repro.core.fitting._make_pool` so any parallel fit hits
+    a :class:`BrokenPipeError`, exercising the documented in-process
+    fallback (and its ``ParallelFitWarning``).
+    """
+    from repro.core import fitting
+
+    original = fitting._make_pool
+    fitting._make_pool = lambda processes: _DeadPool()
+    try:
+        yield
+    finally:
+        fitting._make_pool = original
+
+
+# -- declarative plans ---------------------------------------------------------
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, composable set of fault injections.
+
+    Builder methods mirror the module-level context managers and return
+    ``self`` for chaining; :meth:`apply` activates every registered fault
+    for the duration of a ``with`` block (entered in registration order,
+    unwound in reverse). Plans are reusable — applying twice injects the
+    same faults both times.
+    """
+
+    _factories: list[Callable[[], Any]] = field(default_factory=list)
+    _labels: list[str] = field(default_factory=list)
+
+    def nan_activations(self, model, layer_index: int, value: float = float("nan")) -> "FaultPlan":
+        """Register a NaN/Inf activation fault at ``layer_index``."""
+        self._factories.append(lambda: nan_activations(model, layer_index, value))
+        self._labels.append(f"nan_activations(layer={layer_index}, value={value})")
+        return self
+
+    def corrupt_artifact(
+        self, cache, name: str, config: Any, mode: str = "bitflip",
+        seed: int = 0, refresh_checksum: bool = False,
+    ) -> "FaultPlan":
+        """Register on-disk corruption of one cached artifact."""
+        self._factories.append(
+            lambda: corrupt_artifact(
+                cache, name, config, mode=mode, seed=seed,
+                refresh_checksum=refresh_checksum,
+            )
+        )
+        self._labels.append(f"corrupt_artifact({name!r}, mode={mode!r}, seed={seed})")
+        return self
+
+    def fail_packed_scorer(
+        self, layer_validator, nth: int = 1, count: int = 1
+    ) -> "FaultPlan":
+        """Register packed-scorer failures on calls ``nth..nth+count-1``."""
+        self._factories.append(
+            lambda: fail_packed_scorer(layer_validator, nth=nth, count=count)
+        )
+        self._labels.append(f"fail_packed_scorer(nth={nth}, count={count})")
+        return self
+
+    def dead_fit_pool(self) -> "FaultPlan":
+        """Register worker-pool death for parallel fitting."""
+        self._factories.append(dead_fit_pool)
+        self._labels.append("dead_fit_pool()")
+        return self
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def describe(self) -> list[str]:
+        """Human-readable labels of every registered fault, in order."""
+        return list(self._labels)
+
+    @contextlib.contextmanager
+    def apply(self) -> Iterator["FaultPlan"]:
+        """Activate every registered fault for the enclosed block."""
+        with contextlib.ExitStack() as stack:
+            for factory in self._factories:
+                stack.enter_context(factory())
+            yield self

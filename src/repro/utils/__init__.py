@@ -1,13 +1,23 @@
 """Shared utilities: seeded RNG plumbing, artifact caching, table rendering."""
 
-from repro.utils.cache import ArtifactCache, LRUCache, default_cache, hash_array
+from repro.utils.cache import (
+    ArtifactCache,
+    ArtifactIntegrityError,
+    LRUCache,
+    default_cache,
+    hash_array,
+)
 from repro.utils.rng import new_rng, spawn_rngs
 from repro.utils.tables import format_table
 from repro.utils.validation import check_positive, check_probability, check_shape
+from repro.utils.warnings_ import emit_warning, strict_mode
 
 __all__ = [
     "ArtifactCache",
+    "ArtifactIntegrityError",
     "LRUCache",
+    "emit_warning",
+    "strict_mode",
     "default_cache",
     "hash_array",
     "new_rng",

@@ -51,13 +51,38 @@ def hash_array(*arrays: np.ndarray) -> str:
     return digest.hexdigest()
 
 
+class ArtifactIntegrityError(RuntimeError):
+    """A cached artifact failed its content-checksum verification."""
+
+
+class _HashingWriter:
+    """File-object wrapper that feeds every written byte to a digest."""
+
+    def __init__(self, fh) -> None:
+        self._fh = fh
+        self.digest = hashlib.sha256()
+
+    def write(self, data) -> int:
+        self.digest.update(data)
+        return self._fh.write(data)
+
+
 class ArtifactCache:
-    """A content-addressed pickle cache.
+    """A content-addressed pickle cache with integrity verification.
 
     Keys are ``(name, config)`` pairs; ``config`` must be JSON-serialisable
     (anything else is stringified, which is fine as long as the string is
     stable across runs).
+
+    Every stored pickle gets a ``<file>.sha256`` sidecar with the digest of
+    its bytes; :meth:`load` verifies it, and an entry whose sidecar is
+    missing, stale, or whose pickle no longer matches is *quarantined* —
+    moved into a ``.quarantine/`` subdirectory for post-mortem inspection —
+    rather than half-loaded or silently deleted.
     """
+
+    #: Subdirectory (under the cache root) that corrupt entries are moved to.
+    QUARANTINE_DIR = ".quarantine"
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
@@ -67,66 +92,142 @@ class ArtifactCache:
         """Deterministic cache path for a (name, config) pair."""
         return self.root / f"{name}-{_stable_hash(config)}.pkl"
 
+    def checksum_path_for(self, name: str, config: Any) -> Path:
+        """Path of the checksum sidecar written beside each pickle."""
+        path = self.path_for(name, config)
+        return path.with_name(path.name + ".sha256")
+
     def contains(self, name: str, config: Any) -> bool:
         """Whether a cached entry exists for (name, config)."""
         return self.path_for(name, config).exists()
 
-    def load(self, name: str, config: Any) -> Any:
-        """Unpickle the cached value for (name, config)."""
+    def load(self, name: str, config: Any, verify: bool = True) -> Any:
+        """Unpickle the cached value for (name, config), verifying integrity.
+
+        With ``verify`` (the default), the pickle's bytes are hashed and
+        compared to the ``.sha256`` sidecar before unpickling. A missing
+        sidecar or a mismatched digest quarantines the entry and raises
+        :class:`ArtifactIntegrityError` — a truncated or bit-flipped
+        artifact is never half-loaded. ``verify=False`` restores the
+        trusting pre-checksum behaviour.
+        """
         path = self.path_for(name, config)
+        if not verify:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
         with open(path, "rb") as fh:
-            return pickle.load(fh)
+            payload = fh.read()
+        sidecar = self.checksum_path_for(name, config)
+        if not sidecar.exists():
+            self.quarantine(name, config)
+            raise ArtifactIntegrityError(
+                f"{path.name}: checksum sidecar missing; entry quarantined"
+            )
+        expected = sidecar.read_text().strip()
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != expected:
+            self.quarantine(name, config)
+            raise ArtifactIntegrityError(
+                f"{path.name}: checksum mismatch (expected {expected[:12]}…, "
+                f"got {actual[:12]}…); entry quarantined"
+            )
+        return pickle.loads(payload)
 
     def store(self, name: str, config: Any, value: Any) -> None:
-        """Pickle ``value`` under (name, config), atomically.
+        """Pickle ``value`` under (name, config), atomically, with checksum.
 
         The temp file carries a per-write unique suffix (pid + random), so
         concurrent processes building the same artifact each write their
         own staging file and the final ``os.replace`` promotes a complete
-        pickle — never a half-written one another writer clobbered.
+        pickle — never a half-written one another writer clobbered. The
+        digest is computed while writing and landed in a ``.sha256``
+        sidecar (same staging discipline) after the pickle is promoted; a
+        crash between the two leaves a sidecar-less entry, which
+        :meth:`get_or_build` treats as stale and rebuilds.
         """
         path = self.path_for(name, config)
         tmp = path.with_name(f"{path.name}.{os.getpid()}-{uuid.uuid4().hex}.tmp")
         try:
             with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                writer = _HashingWriter(fh)
+                pickle.dump(value, writer, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         finally:
             if tmp.exists():  # only on a failed write; replace consumed it
                 tmp.unlink()
+        sidecar = self.checksum_path_for(name, config)
+        sidecar_tmp = sidecar.with_name(f"{sidecar.name}.{os.getpid()}-{uuid.uuid4().hex}.tmp")
+        try:
+            sidecar_tmp.write_text(writer.digest.hexdigest() + "\n")
+            os.replace(sidecar_tmp, sidecar)
+        finally:
+            if sidecar_tmp.exists():
+                sidecar_tmp.unlink()
 
     def discard(self, name: str, config: Any) -> bool:
         """Remove the entry for (name, config); returns whether one existed."""
         path = self.path_for(name, config)
+        sidecar = self.checksum_path_for(name, config)
+        if sidecar.exists():
+            sidecar.unlink()
         if path.exists():
             path.unlink()
             return True
         return False
 
+    def quarantine(self, name: str, config: Any) -> Path | None:
+        """Move a corrupt entry (and sidecar) into ``.quarantine/``.
+
+        Returns the quarantined pickle's new path, or ``None`` if no entry
+        existed. Quarantined files keep their name plus a unique suffix,
+        so repeated corruption of the same key never clobbers evidence.
+        """
+        path = self.path_for(name, config)
+        if not path.exists():
+            return None
+        hole = self.root / self.QUARANTINE_DIR
+        hole.mkdir(parents=True, exist_ok=True)
+        token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        destination = hole / f"{path.name}.{token}"
+        os.replace(path, destination)
+        sidecar = self.checksum_path_for(name, config)
+        if sidecar.exists():
+            os.replace(sidecar, hole / f"{sidecar.name}.{token}")
+        return destination
+
     def get_or_build(self, name: str, config: Any, build: Callable[[], Any]) -> Any:
         """Return the cached value for ``(name, config)``, building it once.
 
-        A cache entry that cannot be unpickled — truncated write, foreign
-        file, an artifact pickled against a class that has since changed —
-        is treated as a miss: the entry is discarded and rebuilt rather
-        than poisoning every future run.
+        A cache entry that fails integrity verification (missing or stale
+        checksum sidecar, bit-flipped or truncated bytes) or that cannot
+        be unpickled (a foreign file, an artifact pickled against a class
+        that has since changed) is treated as a miss: the entry is
+        quarantined and rebuilt rather than poisoning every future run.
         """
         if self.contains(name, config):
             try:
                 return self.load(name, config)
+            except ArtifactIntegrityError:
+                pass  # load already quarantined the entry
             except (pickle.UnpicklingError, EOFError, AttributeError,
                     ImportError, IndexError, ValueError):
-                self.discard(name, config)
+                self.quarantine(name, config)
         value = build()
         self.store(name, config, value)
         return value
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number of files removed."""
+        """Delete every cache entry; returns the number of pickles removed.
+
+        Checksum sidecars are removed alongside their pickles; quarantined
+        evidence under ``.quarantine/`` is left untouched.
+        """
         removed = 0
         for path in self.root.glob("*.pkl"):
             path.unlink()
             removed += 1
+        for sidecar in self.root.glob("*.pkl.sha256"):
+            sidecar.unlink()
         return removed
 
 

@@ -52,8 +52,9 @@ class TestRuntimeMonitor:
     def test_stats_and_rejection_rate(self, fitted_validator, trained_tiny_model):
         _, _, _, test_x, _ = trained_tiny_model
         monitor = RuntimeMonitor(fitted_validator)
-        with pytest.raises(ValueError):
-            monitor.rejection_rate
+        # Documented contract: NaN (not an exception) before any scoring,
+        # so dashboards can poll the rate unconditionally.
+        assert np.isnan(monitor.rejection_rate)
         monitor.classify(test_x[:10])
         total = monitor.stats["accepted"] + monitor.stats["rejected"]
         assert total == 10

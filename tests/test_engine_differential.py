@@ -227,3 +227,60 @@ class TestEngineAgainstValidator:
         np.testing.assert_allclose(
             restored.engine().joint_discrepancy(test_x), expected, atol=TOLERANCE
         )
+
+
+@pytest.fixture(scope="module")
+def edge_case_validator(trained_tiny_model):
+    """One fitted validator shared by the edge-batch tests below."""
+    model, train_x, train_y, _, _ = trained_tiny_model
+    validator = DeepValidator(model, ValidatorConfig(max_per_class=60))
+    validator.fit(train_x, train_y)
+    return validator
+
+
+class TestEngineEdgeBatches:
+    """Serving-shaped inputs: empty windows, singletons, mixed dtypes.
+
+    A monitor whose whole batch was quarantined hands the engine ``n=0``;
+    batch-size-1 is the steady state of online monitoring; and producers
+    ship float32 or float64 interchangeably. All three must agree with
+    the reference path at 1e-8.
+    """
+
+    def test_empty_batch(self, edge_case_validator, trained_tiny_model):
+        validator = edge_case_validator
+        empty = np.empty((0, 1, 12, 12))
+        predictions, per_layer = validator.engine().discrepancies(empty)
+        ref_predictions, ref_per_layer = validator.discrepancies(empty)
+        assert predictions.shape == ref_predictions.shape == (0,)
+        assert per_layer.shape == ref_per_layer.shape == (0, 3)
+        np.testing.assert_allclose(per_layer, ref_per_layer, atol=TOLERANCE, rtol=0)
+        assert validator.engine().joint_discrepancy(empty).shape == (0,)
+        assert validator.engine().flag(empty).shape == (0,)
+
+    def test_single_image_batch(self, edge_case_validator, trained_tiny_model):
+        validator = edge_case_validator
+        _, _, _, test_x, _ = trained_tiny_model
+        one = test_x[:1]
+        predictions, per_layer = validator.engine().discrepancies(one)
+        ref_predictions, ref_per_layer = validator.discrepancies(one)
+        np.testing.assert_array_equal(predictions, ref_predictions)
+        np.testing.assert_allclose(per_layer, ref_per_layer, atol=TOLERANCE, rtol=0)
+        assert per_layer.shape == (1, 3)
+
+    def test_mixed_dtype_inputs_agree(self, edge_case_validator, trained_tiny_model):
+        validator = edge_case_validator
+        _, _, _, test_x, _ = trained_tiny_model
+        batch64 = np.ascontiguousarray(test_x[:16], dtype=np.float64)
+        batch32 = np.ascontiguousarray(test_x[:16], dtype=np.float32)
+        engine = validator.engine()
+        _, from64 = engine.discrepancies(batch64)
+        _, from32 = engine.discrepancies(batch32)
+        _, reference = validator.discrepancies(batch64)
+        # The forward pass casts to float32 either way: both dtypes must
+        # match the reference path (and therefore each other) at 1e-8.
+        np.testing.assert_allclose(from64, reference, atol=TOLERANCE, rtol=0)
+        np.testing.assert_allclose(from32, reference, atol=TOLERANCE, rtol=0)
+        # Content hashing includes dtype, so the variants were distinct
+        # cache entries rather than one entry serving both.
+        assert engine.stats["misses"] >= 2

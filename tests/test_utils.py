@@ -174,6 +174,78 @@ class TestCache:
         assert not cache.contains("bad", {})
 
 
+class TestArtifactIntegrity:
+    def test_store_writes_checksum_sidecar(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("thing", {"a": 1}, [1, 2, 3])
+        sidecar = cache.checksum_path_for("thing", {"a": 1})
+        assert sidecar.exists()
+        import hashlib
+
+        payload = cache.path_for("thing", {"a": 1}).read_bytes()
+        assert sidecar.read_text().strip() == hashlib.sha256(payload).hexdigest()
+
+    def test_bit_flipped_pickle_rebuilt_and_quarantined(self, tmp_path):
+        # Regression for the blind spot where only unpickling errors
+        # triggered a rebuild: a single flipped bit usually still
+        # unpickles — into silently wrong data.
+        cache = ArtifactCache(tmp_path)
+        cache.store("thing", {"a": 1}, {"weights": list(range(64))})
+        path = cache.path_for("thing", {"a": 1})
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0x01
+        path.write_bytes(bytes(payload))
+        assert cache.get_or_build("thing", {"a": 1}, lambda: "rebuilt") == "rebuilt"
+        quarantined = list((tmp_path / ArtifactCache.QUARANTINE_DIR).iterdir())
+        assert any(p.name.startswith("thing-") and ".pkl." in p.name for p in quarantined)
+        # The rebuilt entry carries a fresh, matching sidecar.
+        assert cache.load("thing", {"a": 1}) == "rebuilt"
+
+    def test_missing_sidecar_treated_as_stale(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("thing", {}, "value")
+        cache.checksum_path_for("thing", {}).unlink()
+        assert cache.get_or_build("thing", {}, lambda: "rebuilt") == "rebuilt"
+
+    def test_stale_sidecar_treated_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("thing", {}, "old")
+        sidecar = cache.checksum_path_for("thing", {})
+        stale = sidecar.read_text()
+        cache.path_for("thing", {}).write_bytes(
+            cache.path_for("thing", {}).read_bytes() + b" "
+        )
+        assert sidecar.read_text() == stale
+        assert cache.get_or_build("thing", {}, lambda: "rebuilt") == "rebuilt"
+
+    def test_load_without_verify_trusts_bytes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("thing", {}, "value")
+        cache.checksum_path_for("thing", {}).unlink()
+        assert cache.load("thing", {}, verify=False) == "value"
+
+    def test_discard_removes_sidecar(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("thing", {}, "value")
+        cache.discard("thing", {})
+        assert not cache.checksum_path_for("thing", {}).exists()
+
+    def test_clear_removes_sidecars_but_not_quarantine(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("a", {}, 1)
+        cache.store("b", {}, 2)
+        cache.path_for("a", {}).write_bytes(b"\x05junk")
+        with pytest.raises(Exception):
+            cache.load("a", {})
+        assert cache.clear() == 1  # only b's pickle remained
+        assert not list(tmp_path.glob("*.sha256"))
+        assert list((tmp_path / ArtifactCache.QUARANTINE_DIR).iterdir())
+
+    def test_quarantine_missing_entry_returns_none(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.quarantine("ghost", {}) is None
+
+
 class TestLRUCache:
     def test_eviction_order_is_least_recently_used(self):
         cache = LRUCache(maxsize=3)

@@ -10,11 +10,19 @@ error-inducing corner cases.
 """
 
 from repro.core.engine import ValidationEngine
+from repro.core.checkpoint import (
+    CheckpointIntegrityError,
+    CheckpointStore,
+    TaskJournal,
+    default_checkpoint_store,
+)
 from repro.core.fitting import (
+    HungWorkerError,
     ParallelFitWarning,
     default_fit_jobs,
     fit_validators_from_arrays,
     resolve_n_jobs,
+    resolve_task_timeout,
 )
 from repro.core.validator import DeepValidator, LayerValidator, ValidatorConfig
 from repro.core.thresholds import centroid_threshold, fpr_calibrated_threshold
@@ -44,10 +52,16 @@ from repro.core.calibration import (
 
 __all__ = [
     "ValidationEngine",
+    "CheckpointIntegrityError",
+    "CheckpointStore",
+    "TaskJournal",
+    "default_checkpoint_store",
+    "HungWorkerError",
     "ParallelFitWarning",
     "default_fit_jobs",
     "fit_validators_from_arrays",
     "resolve_n_jobs",
+    "resolve_task_timeout",
     "DeepValidator",
     "LayerValidator",
     "ValidatorConfig",

@@ -1,0 +1,275 @@
+"""Crash-safe checkpointing for the offline pipelines.
+
+The serving path became fault-tolerant in the resilience layer; this module
+gives the *artifact-producing* pipelines — classifier training, Algorithm 1
+fitting, and the experiment CLI — the same discipline. A crash, OOM-kill,
+or power cut at epoch 39/40 must cost one epoch, not the whole run, and a
+resumed run must be **bit-identical** to an uninterrupted one (the same
+contract the parallel-fitting layer makes for worker counts).
+
+Two primitives, both following :class:`~repro.utils.cache.ArtifactCache`
+conventions (stage to a uniquely-named temp file, ``os.replace`` into
+place, sha256 sidecar verified on read, corrupt entries quarantined):
+
+* :class:`CheckpointStore` — atomic whole-state snapshots. ``save`` never
+  leaves a torn checkpoint (the previous snapshot survives any crash
+  mid-write) and ``load_or_none`` treats a corrupt snapshot as absent, so
+  a resume after the worst-case crash simply restarts the interrupted
+  stage from the last good snapshot.
+* :class:`TaskJournal` — an append-only, per-record-checksummed journal
+  for pipelines made of many small independent results (the ``(layer,
+  class)`` solves of Algorithm 1, the per-experiment reports of the CLI).
+  Each record is framed with its length and sha256 digest and fsynced on
+  append; :meth:`TaskJournal.replay` returns every intact record and
+  silently drops a torn tail — exactly the record that was mid-write when
+  the process died.
+
+Checkpoints capture RNG bit-state via :func:`repro.utils.rng.get_rng_state`
+/ :func:`~repro.utils.rng.set_rng_state`, which is what makes resume
+bit-identical rather than merely approximate: the restored generator
+continues the exact stream the interrupted run would have drawn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import struct
+import uuid
+from pathlib import Path
+from typing import Any, Iterator
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint-store failures."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """A checkpoint or journal record failed its checksum verification."""
+
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Journal frame header: 8-byte big-endian payload length + 32-byte sha256.
+_FRAME_HEADER = struct.Struct(">Q32s")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"checkpoint name must match {_NAME_RE.pattern}, got {name!r}"
+        )
+    return name
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Stage ``payload`` to a unique temp file, fsync, and rename into place."""
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{uuid.uuid4().hex}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # only on a failed write; replace consumed it
+            tmp.unlink()
+
+
+class CheckpointStore:
+    """Atomic, integrity-checked snapshots of arbitrary picklable state.
+
+    Keys are flat names; each snapshot is a pickle plus a ``.sha256``
+    sidecar. Writes are atomic (temp + ``os.replace``), so a crash during
+    ``save`` leaves the *previous* snapshot intact — the store never holds
+    a torn checkpoint under its official name. Reads verify the sidecar
+    before unpickling; a corrupt entry is quarantined for post-mortem
+    rather than half-loaded.
+    """
+
+    #: Subdirectory (under the store root) that corrupt entries are moved to.
+    QUARANTINE_DIR = ".quarantine"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, name: str) -> Path:
+        """On-disk path of the snapshot called ``name``."""
+        return self.root / f"{_check_name(name)}.ckpt"
+
+    def checksum_path_for(self, name: str) -> Path:
+        """Path of the checksum sidecar written beside each snapshot."""
+        path = self.path_for(name)
+        return path.with_name(path.name + ".sha256")
+
+    def exists(self, name: str) -> bool:
+        """Whether a snapshot called ``name`` is present."""
+        return self.path_for(name).exists()
+
+    def save(self, name: str, state: Any) -> None:
+        """Atomically snapshot ``state`` under ``name``.
+
+        The pickle is staged and renamed first, then the sidecar: a crash
+        between the two leaves a snapshot whose sidecar is stale, which
+        :meth:`load` rejects (and quarantines) — fail-safe in the same
+        direction as a torn write.
+        """
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write(self.path_for(name), payload)
+        digest = hashlib.sha256(payload).hexdigest()
+        _atomic_write(self.checksum_path_for(name), (digest + "\n").encode())
+
+    def load(self, name: str) -> Any:
+        """Verify and unpickle the snapshot called ``name``.
+
+        Raises :class:`FileNotFoundError` if absent, and
+        :class:`CheckpointIntegrityError` (after quarantining the entry)
+        if the sidecar is missing or the bytes fail verification.
+        """
+        path = self.path_for(name)
+        payload = path.read_bytes()
+        sidecar = self.checksum_path_for(name)
+        if not sidecar.exists():
+            self.quarantine(name)
+            raise CheckpointIntegrityError(
+                f"{path.name}: checksum sidecar missing; entry quarantined"
+            )
+        expected = sidecar.read_text().strip()
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != expected:
+            self.quarantine(name)
+            raise CheckpointIntegrityError(
+                f"{path.name}: checksum mismatch (expected {expected[:12]}…, "
+                f"got {actual[:12]}…); entry quarantined"
+            )
+        return pickle.loads(payload)
+
+    def load_or_none(self, name: str) -> Any:
+        """The resume entry point: the snapshot, or ``None`` if unusable.
+
+        A missing snapshot means "start fresh"; a corrupt one is
+        quarantined and likewise treated as absent — resuming from
+        damaged state would break the bit-identity contract, so the
+        caller restarts the stage instead.
+        """
+        if not self.exists(name):
+            return None
+        try:
+            return self.load(name)
+        except CheckpointIntegrityError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            self.quarantine(name)
+            return None
+
+    def discard(self, name: str) -> bool:
+        """Remove the snapshot for ``name``; returns whether one existed."""
+        sidecar = self.checksum_path_for(name)
+        if sidecar.exists():
+            sidecar.unlink()
+        path = self.path_for(name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def quarantine(self, name: str) -> Path | None:
+        """Move a corrupt snapshot (and sidecar) into ``.quarantine/``."""
+        path = self.path_for(name)
+        if not path.exists():
+            return None
+        hole = self.root / self.QUARANTINE_DIR
+        hole.mkdir(parents=True, exist_ok=True)
+        token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        destination = hole / f"{path.name}.{token}"
+        os.replace(path, destination)
+        sidecar = self.checksum_path_for(name)
+        if sidecar.exists():
+            os.replace(sidecar, hole / f"{sidecar.name}.{token}")
+        return destination
+
+    def journal(self, name: str) -> "TaskJournal":
+        """The append-only journal called ``name`` inside this store."""
+        return TaskJournal(self.root / f"{_check_name(name)}.journal")
+
+
+class TaskJournal:
+    """An append-only journal of picklable records, safe against torn tails.
+
+    Each :meth:`append` writes one self-verifying frame — payload length,
+    sha256 digest, pickled payload — and fsyncs it, so a record either
+    lands completely or not at all from the reader's point of view.
+    :meth:`replay` yields every intact record in append order and stops at
+    a torn tail (the frame that was mid-write when the process died); a
+    *complete* frame whose digest fails is storage rot, not a crash, and
+    raises :class:`CheckpointIntegrityError` instead of silently dropping
+    every record after it.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        """Whether any journal file is present on disk."""
+        return self.path.exists()
+
+    def append(self, record: Any) -> None:
+        """Durably append one record (length + digest + pickle, fsynced)."""
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _FRAME_HEADER.pack(len(payload), hashlib.sha256(payload).digest())
+        with open(self.path, "ab") as fh:
+            fh.write(frame + payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def replay(self) -> list[Any]:
+        """Every intact record, in append order; a torn tail is dropped."""
+        return list(self.iter_records())
+
+    def iter_records(self) -> Iterator[Any]:
+        """Yield intact records lazily; see :meth:`replay`."""
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as fh:
+            while True:
+                header = fh.read(_FRAME_HEADER.size)
+                if len(header) == 0:
+                    return  # clean end of journal
+                if len(header) < _FRAME_HEADER.size:
+                    return  # torn tail: header itself was mid-write
+                length, digest = _FRAME_HEADER.unpack(header)
+                payload = fh.read(length)
+                if len(payload) < length:
+                    return  # torn tail: payload was mid-write
+                if hashlib.sha256(payload).digest() != digest:
+                    raise CheckpointIntegrityError(
+                        f"{self.path.name}: journal record failed its checksum "
+                        "(storage corruption, not a torn write)"
+                    )
+                yield pickle.loads(payload)
+
+    def __len__(self) -> int:
+        return len(self.replay())
+
+    def clear(self) -> bool:
+        """Delete the journal file; returns whether one existed."""
+        if self.path.exists():
+            self.path.unlink()
+            return True
+        return False
+
+
+def default_checkpoint_store() -> CheckpointStore:
+    """The repository-wide store: ``$REPRO_CHECKPOINT_DIR`` or
+    ``.checkpoints/`` under the artifact-cache root (so relocating the
+    cache with ``REPRO_CACHE_DIR`` relocates the checkpoints with it)."""
+    root = os.environ.get("REPRO_CHECKPOINT_DIR")
+    if root is None:
+        from repro.utils.cache import default_cache
+
+        return CheckpointStore(default_cache().root / ".checkpoints")
+    return CheckpointStore(root)

@@ -21,18 +21,36 @@ This module decomposes that into three stages:
    ``multiprocessing`` pool. Each worker computes its own Gram block;
    results are merged by task key, so the assembled validator is
    bit-identical regardless of worker count or completion order.
-   ``n_jobs=1`` runs the same solve in-process (the exact serial math) and
-   any pool failure — a crashed worker, an unpicklable custom kernel —
-   degrades gracefully to in-process solving with a
-   :class:`ParallelFitWarning` instead of aborting the fit.
+   ``n_jobs=1`` runs the same solve in-process (the exact serial math).
 
-The determinism contract (``n_jobs=1`` ≡ ``n_jobs=N``) is pinned by the
-hypothesis suite in ``tests/test_fitting_determinism.py``.
+Stage 3 is also the pipeline's recovery point:
+
+* **Task journal** — given a ``journal``
+  (:class:`~repro.core.checkpoint.TaskJournal`), every completed solution
+  is flushed to disk as it lands; a rerun replays the journal and solves
+  only the missing tasks, so a crash at task 97/100 costs three solves,
+  not a hundred. Replayed and freshly-solved tasks are bit-identical —
+  both ran the same :func:`_solve_fit_task` math.
+* **Hung-worker watchdog** — a per-task deadline (``task_timeout`` or the
+  ``REPRO_FIT_TASK_TIMEOUT`` environment variable, seconds) bounds how
+  long the coordinator waits on any one solve; expiry terminates and
+  recycles the whole pool rather than deadlocking the fit.
+* **Bounded retry** — pool construction failures, worker crashes, and
+  watchdog expiries are retried up to ``max_retries`` times with
+  exponential backoff (progress made before a failure is kept — only
+  still-missing tasks are redispatched); when retries are exhausted, the
+  remaining work degrades to the in-process path with a
+  :class:`ParallelFitWarning` instead of aborting the fit.
+
+The determinism contract (``n_jobs=1`` ≡ ``n_jobs=N`` ≡ interrupted +
+resumed) is pinned by the hypothesis suites in
+``tests/test_fitting_determinism.py`` and ``tests/test_checkpoint_resume.py``.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,12 +60,39 @@ from repro.svm.scaler import StandardScaler
 from repro.utils.rng import new_rng
 from repro.utils.warnings_ import emit_warning
 
+#: Environment variable holding the per-task watchdog deadline, in seconds.
+TASK_TIMEOUT_ENV = "REPRO_FIT_TASK_TIMEOUT"
+
+#: Sleep hook for retry backoff; tests patch this to keep suites fast.
+_sleep = time.sleep
+
 
 class ParallelFitWarning(RuntimeWarning):
     """Raised (as a warning) when parallel fitting falls back to in-process.
 
     Emitted through :func:`repro.utils.warnings_.emit_warning`, so
     ``REPRO_STRICT=1`` escalates the silent fallback into an error.
+    """
+
+
+class HungWorkerError(RuntimeError):
+    """A fit task missed its watchdog deadline; the pool was recycled.
+
+    Raised internally by one parallel attempt and caught by
+    :func:`solve_tasks`'s retry loop — it only escapes to callers through
+    the eventual :class:`ParallelFitWarning` message when every retry
+    hangs too.
+    """
+
+
+class _PoolAttemptFailure(Exception):
+    """Internal: one parallel attempt failed in the pool machinery.
+
+    Wraps pool-construction errors, dispatch errors, and worker crashes —
+    the failures a pool recycle plus retry may fix. Exceptions raised
+    while *recording* a finished solution (journal I/O, injected crashes,
+    strict-mode escalations) deliberately do not get this wrapper and
+    propagate to the caller.
     """
 
 
@@ -238,34 +283,145 @@ def _make_pool(processes: int):
     return multiprocessing.get_context().Pool(processes=processes)
 
 
+def resolve_task_timeout(task_timeout: float | None = None) -> float | None:
+    """Normalise the per-task watchdog deadline.
+
+    ``None`` consults ``REPRO_FIT_TASK_TIMEOUT`` (seconds; unset, empty,
+    or non-positive disables the watchdog); an explicit non-positive value
+    force-disables it regardless of the environment.
+    """
+    if task_timeout is not None:
+        return float(task_timeout) if task_timeout > 0 else None
+    env = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+    if not env:
+        return None
+    value = float(env)
+    return value if value > 0 else None
+
+
+def _record_solution(key, solution, solutions, journal) -> None:
+    """Land one finished solution: merge it and flush it to the journal.
+
+    Module-level on purpose — this is the crash seam
+    :func:`repro.testing.faults.crash_at_task` patches to simulate a kill
+    after exactly *j* solutions have been journaled.
+    """
+    solutions[key] = solution
+    if journal is not None:
+        journal.append((key, solution))
+
+
+def _solve_parallel(
+    pending, task_features, cfg, n_jobs, timeout, solutions, journal
+) -> None:
+    """One pool attempt over ``pending``; records solutions as they land.
+
+    Pool machinery failures (construction, dispatch, worker crashes) raise
+    :class:`_PoolAttemptFailure`; a watchdog expiry raises
+    :class:`HungWorkerError` after terminating the pool. Either way, every
+    solution recorded before the failure is kept, so retries only redo the
+    genuinely missing work.
+    """
+    import multiprocessing
+
+    try:
+        pool = _make_pool(min(n_jobs, len(pending)))
+    except Exception as exc:  # noqa: BLE001 — robustness is the contract
+        raise _PoolAttemptFailure(exc) from exc
+    try:
+        try:
+            handles = [
+                (key, pool.apply_async(_solve_fit_task, ((key, task_features[key], cfg),)))
+                for key in pending
+            ]
+        except Exception as exc:  # noqa: BLE001
+            raise _PoolAttemptFailure(exc) from exc
+        for key, handle in handles:
+            try:
+                solved_key, solution = (
+                    handle.get(timeout) if timeout is not None else handle.get()
+                )
+            except multiprocessing.TimeoutError as exc:
+                raise HungWorkerError(
+                    f"fit task {key} missed its {timeout}s deadline "
+                    f"({TASK_TIMEOUT_ENV}); recycling the worker pool"
+                ) from exc
+            except Exception as exc:  # noqa: BLE001
+                raise _PoolAttemptFailure(exc) from exc
+            _record_solution(solved_key, solution, solutions, journal)
+    finally:
+        # Recycle the pool unconditionally: terminate() is what reclaims a
+        # hung worker, and it is also how Pool.__exit__ ends a clean run.
+        pool.terminate()
+
+
 def solve_tasks(
     task_features: dict[tuple[int, int], np.ndarray],
     config,
     n_jobs: int = 1,
+    journal=None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
 ) -> dict[tuple[int, int], TaskSolution]:
     """Solve every task, in-process or across a worker pool.
 
     Payloads are dispatched in sorted key order and results are merged by
-    key, so the mapping is deterministic regardless of scheduling. Any pool
-    failure — fork trouble, a worker crash, an unpicklable custom kernel —
-    is downgraded to a :class:`ParallelFitWarning` and the remaining work
-    runs in-process; a failed parallel fit never aborts training.
+    key, so the mapping is deterministic regardless of scheduling.
+
+    ``journal`` (a :class:`~repro.core.checkpoint.TaskJournal`) makes the
+    solve resumable: previously journaled solutions are replayed instead
+    of recomputed, and every new solution is flushed before the next task
+    starts. ``task_timeout`` (default: ``REPRO_FIT_TASK_TIMEOUT``) is the
+    hung-worker watchdog — a task that misses the deadline gets its pool
+    terminated and recycled. Pool failures of any kind are retried up to
+    ``max_retries`` times with exponential backoff (``retry_backoff``,
+    doubling per retry); exhausted retries degrade the remaining work to
+    the in-process path with a :class:`ParallelFitWarning` — a failed,
+    hung, or flaky pool never aborts the fit, and never changes its
+    result.
     """
     cfg = _solve_config(config)
-    payloads = [(key, task_features[key], cfg) for key in sorted(task_features)]
+    ordered = sorted(task_features)
+    solutions: dict = {}
+    if journal is not None:
+        for key, solution in journal.replay():
+            if key in task_features:
+                solutions[key] = solution
     n_jobs = resolve_n_jobs(n_jobs)
-    if n_jobs > 1 and len(payloads) > 1:
-        try:
-            with _make_pool(min(n_jobs, len(payloads))) as pool:
-                return dict(pool.map(_solve_fit_task, payloads))
-        except Exception as exc:  # noqa: BLE001 — robustness is the contract
+    timeout = resolve_task_timeout(task_timeout)
+    pending = [key for key in ordered if key not in solutions]
+    if n_jobs > 1 and len(pending) > 1:
+        attempts = 1 + max(0, int(max_retries))
+        failure: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                _sleep(retry_backoff * (2 ** (attempt - 1)))
+            pending = [key for key in ordered if key not in solutions]
+            if not pending:
+                break
+            try:
+                _solve_parallel(
+                    pending, task_features, cfg, n_jobs, timeout, solutions, journal
+                )
+                failure = None
+                break
+            except (HungWorkerError, _PoolAttemptFailure) as exc:
+                failure = exc
+        if failure is not None:
+            cause = failure.__cause__ if failure.__cause__ is not None else failure
             emit_warning(
-                f"parallel fit (n_jobs={n_jobs}) failed with "
-                f"{type(exc).__name__}: {exc}; falling back to in-process fitting",
+                f"parallel fit (n_jobs={n_jobs}) failed after {attempts} "
+                f"attempt(s) with {type(cause).__name__}: {cause}; "
+                "falling back to in-process fitting",
                 ParallelFitWarning,
                 stacklevel=2,
             )
-    return dict(_solve_fit_task(payload) for payload in payloads)
+    for key in ordered:
+        if key not in solutions:
+            _, solution = _solve_fit_task((key, task_features[key], cfg))
+            _record_solution(key, solution, solutions, journal)
+    return {key: solutions[key] for key in ordered}
 
 
 # -- assembly ------------------------------------------------------------------
@@ -323,18 +479,23 @@ def fit_deep_validator(
     config,
     chunk_size: int = 256,
     n_jobs: int | None = None,
+    journal=None,
 ) -> list:
     """The full pipeline behind ``DeepValidator.fit``: plan, extract, solve.
 
-    ``n_jobs`` defaults to ``config.n_jobs``. Returns the fitted per-layer
-    validators in layer order.
+    ``n_jobs`` defaults to ``config.n_jobs``. ``journal`` (a
+    :class:`~repro.core.checkpoint.TaskJournal`) makes the solve stage
+    resumable across process deaths; the plan is a pure function of the
+    labels and the seed, so a journal written by an interrupted fit of the
+    same data/config replays into the identical task graph. Returns the
+    fitted per-layer validators in layer order.
     """
     layer_positions = list(enumerate(layer_indices))
     tasks = plan_fit_tasks(labels, layer_positions, config)
     task_features = extract_task_features(model, images, tasks, chunk_size=chunk_size)
     if n_jobs is None:
         n_jobs = getattr(config, "n_jobs", 1)
-    solutions = solve_tasks(task_features, config, n_jobs=n_jobs)
+    solutions = solve_tasks(task_features, config, n_jobs=n_jobs, journal=journal)
     return build_layer_validators(
         tasks, solutions, layer_positions, model.probe_names, config
     )
@@ -347,13 +508,15 @@ def fit_validators_from_arrays(
     config,
     n_jobs: int = 1,
     layer_names: list[str] | None = None,
+    journal=None,
 ) -> list:
     """Fit per-layer validators from already-extracted representations.
 
     ``representations[i]`` holds layer ``i``'s ``(N, features_i)`` matrix.
     Used by the determinism suite (no model required) and by callers that
     already hold activations; mathematically identical to
-    ``LayerValidator.fit`` per layer.
+    ``LayerValidator.fit`` per layer. ``journal`` passes through to
+    :func:`solve_tasks` for crash-safe, resumable solving.
     """
     labels = np.asarray(labels)
     if layer_names is None:
@@ -366,5 +529,5 @@ def fit_validators_from_arrays(
         )
         for task in tasks
     }
-    solutions = solve_tasks(task_features, config, n_jobs=n_jobs)
+    solutions = solve_tasks(task_features, config, n_jobs=n_jobs, journal=journal)
     return build_layer_validators(tasks, solutions, layer_positions, layer_names, config)

@@ -281,6 +281,7 @@ class DeepValidator:
         train_images: np.ndarray,
         train_labels: np.ndarray,
         chunk_size: int = 256,
+        journal=None,
     ) -> "DeepValidator":
         """Fit per-layer validators on correctly classified training images.
 
@@ -289,7 +290,10 @@ class DeepValidator:
         subsampled training rows are retained per layer) and the
         independent (layer, class) solves are dispatched over
         ``config.n_jobs`` workers. The fitted validator is bit-identical
-        for any ``n_jobs``.
+        for any ``n_jobs``. ``journal`` (a
+        :class:`~repro.core.checkpoint.TaskJournal`) makes the solve stage
+        crash-safe: completed (layer, class) solutions are flushed as they
+        land and replayed on a rerun of the same data and config.
         """
         from repro.core.fitting import fit_deep_validator
 
@@ -316,6 +320,7 @@ class DeepValidator:
             self.config,
             chunk_size=chunk_size,
             n_jobs=getattr(self.config, "n_jobs", 1),
+            journal=journal,
         )
         probe_names = self.model.probe_names
         self.fit_summary.layers_fitted = [

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.checkpoint import CheckpointStore
 from repro.core.fitting import default_fit_jobs
 from repro.core.validator import DeepValidator, ValidatorConfig
 from repro.corner.suite import CornerCaseSuite, build_corner_case_suite
@@ -94,8 +95,23 @@ class ExperimentContext:
         return RuntimeMonitor(self.validator, **kwargs)
 
 
-def _build_context(dataset_name: str, profile: str, seed: int) -> ExperimentContext:
-    classifier = get_trained_classifier(dataset_name, profile, seed=seed)
+def _build_context(
+    dataset_name: str, profile: str, seed: int, cache: ArtifactCache
+) -> ExperimentContext:
+    """Build the context crash-safely.
+
+    The two long stages — classifier training and Algorithm 1 fitting —
+    checkpoint under ``<cache root>/.checkpoints/``: training snapshots
+    every epoch, fitting journals every completed (layer, class) solve.
+    A build killed partway through resumes from those on the next call
+    and, because resume is bit-identical, yields exactly the artifacts of
+    an uninterrupted build. Once the finished context lands in the
+    artifact cache, its intermediate checkpoint state is discarded.
+    """
+    checkpoints = CheckpointStore(cache.root / ".checkpoints")
+    classifier = get_trained_classifier(
+        dataset_name, profile, seed=seed, checkpoints=checkpoints
+    )
     model = classifier.model
     dataset = classifier.dataset
     suite_params = _SUITE_PARAMS[profile]
@@ -115,7 +131,9 @@ def _build_context(dataset_name: str, profile: str, seed: int) -> ExperimentCont
         **_VALIDATOR_PARAMS[profile],
     )
     validator = DeepValidator(model, config)
-    validator.fit(dataset.train_images, dataset.train_labels)
+    journal = checkpoints.journal(f"fit-{dataset_name}-{profile}-seed{seed}")
+    validator.fit(dataset.train_images, dataset.train_labels, journal=journal)
+    journal.clear()  # the fitted validator lands in the artifact cache
 
     # Clean evaluation sample, disjoint from the corner-case seeds where
     # possible: the paper samples as many clean test images as corner cases.
@@ -143,5 +161,5 @@ def get_context(
     cache = cache if cache is not None else default_cache()
     config = {"dataset": dataset_name, "profile": profile, "seed": seed, "kind": "context", "v": 2}
     return cache.get_or_build(
-        "context", config, lambda: _build_context(dataset_name, profile, seed)
+        "context", config, lambda: _build_context(dataset_name, profile, seed, cache)
     )

@@ -4,6 +4,14 @@ Usage::
 
     python -m repro.experiments.run --experiment table6 --dataset synth-mnist
     python -m repro.experiments.run --all --profile bench
+
+Every completed experiment's rendered report is journaled (crash-safely,
+under the checkpoint store), so a run killed at experiment 7/10 loses
+nothing: rerunning with ``--resume`` replays the journaled reports and
+continues from the first experiment that never finished. The in-flight
+artifact builds (classifier training, validator fitting) checkpoint
+themselves independently and resume bit-identically — see
+``docs/checkpointing.md``.
 """
 
 from __future__ import annotations
@@ -78,6 +86,19 @@ def run_experiment(name: str, dataset: str | None, profile: str, seed: int) -> s
     raise ValueError(f"unknown experiment {name!r}; available: {EXPERIMENTS}")
 
 
+def _run_journal(checkpoint_dir: str | None, dataset: str | None, profile: str, seed: int):
+    """The per-run journal of completed experiment reports."""
+    from repro.core.checkpoint import CheckpointStore, default_checkpoint_store
+
+    store = (
+        CheckpointStore(checkpoint_dir)
+        if checkpoint_dir is not None
+        else default_checkpoint_store()
+    )
+    scope = dataset if dataset is not None else "all"
+    return store.journal(f"run-{profile}-{scope}-seed{seed}")
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point; see the module docstring for usage."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -86,13 +107,36 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--profile", default="tiny", choices=("tiny", "bench"))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay experiments already completed by an interrupted run of "
+        "the same profile/dataset/seed, then continue with the rest",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint store root (default: $REPRO_CHECKPOINT_DIR or "
+        ".checkpoints/ under the artifact cache)",
+    )
     args = parser.parse_args(argv)
 
     names = EXPERIMENTS if args.all else [args.experiment]
     if names == [None]:
         parser.error("provide --experiment or --all")
+    journal = _run_journal(args.checkpoint_dir, args.dataset, args.profile, args.seed)
+    completed: dict[str, str] = {}
+    if args.resume:
+        completed = dict(journal.replay())
+    else:
+        journal.clear()  # a fresh run must not inherit a stale journal
     for name in names:
-        print(run_experiment(name, args.dataset, args.profile, args.seed))
+        if name in completed:
+            output = completed[name]
+        else:
+            output = run_experiment(name, args.dataset, args.profile, args.seed)
+            journal.append((name, output))
+        print(output)
         print()
 
 

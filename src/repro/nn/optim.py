@@ -8,7 +8,21 @@ from repro.nn.module import Parameter
 
 
 class Optimizer:
-    """Base optimizer over a list of parameters."""
+    """Base optimizer over a list of parameters.
+
+    Subclasses declare their per-parameter buffers in ``_array_slots``
+    (attribute names holding one array per managed parameter, e.g. SGD's
+    momentum velocities) and scalar bookkeeping in ``_scalar_slots``
+    (e.g. Adam's step counter); :meth:`state_dict` /
+    :meth:`load_state_dict` then snapshot and restore them exactly, which
+    is what lets a checkpointed training run resume bit-identically
+    instead of restarting momentum from zero.
+    """
+
+    #: Attribute names holding per-parameter buffer lists (one array each).
+    _array_slots: tuple[str, ...] = ()
+    #: Attribute names holding scalar state (ints/floats).
+    _scalar_slots: tuple[str, ...] = ()
 
     def __init__(self, params: list[Parameter]) -> None:
         self.params = list(params)
@@ -24,9 +38,68 @@ class Optimizer:
         """Apply one update from the currently accumulated gradients."""
         raise NotImplementedError
 
+    # -- state -----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot every internal buffer (momentum, moments, counters).
+
+        Arrays are copied, so the snapshot is immune to later ``step``
+        calls; the structure is plain dicts/lists of numpy arrays and
+        scalars, picklable by any checkpoint store.
+        """
+        return {
+            "scalars": {name: getattr(self, name) for name in self._scalar_slots},
+            "slots": {
+                name: [np.array(buf, copy=True) for buf in getattr(self, name)]
+                for name in self._array_slots
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`state_dict` (strict keys/shapes).
+
+        Buffers are written in place, so aliasing with :attr:`params`
+        ordering is preserved; mismatched slot names, buffer counts, or
+        shapes raise rather than silently desynchronising the optimizer
+        from its parameters.
+        """
+        scalars = state.get("scalars", {})
+        slots = state.get("slots", {})
+        missing = (set(self._scalar_slots) - set(scalars)) | (
+            set(self._array_slots) - set(slots)
+        )
+        unexpected = (set(scalars) - set(self._scalar_slots)) | (
+            set(slots) - set(self._array_slots)
+        )
+        if missing or unexpected:
+            raise KeyError(
+                f"optimizer state mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name in self._array_slots:
+            current = getattr(self, name)
+            saved = slots[name]
+            if len(saved) != len(current):
+                raise ValueError(
+                    f"slot {name}: snapshot holds {len(saved)} buffers, "
+                    f"optimizer manages {len(current)} parameters"
+                )
+            for buf, value in zip(current, saved):
+                value = np.asarray(value)
+                if value.shape != buf.shape:
+                    raise ValueError(
+                        f"shape mismatch in slot {name}: "
+                        f"{value.shape} vs {buf.shape}"
+                    )
+                buf[...] = value
+        for name in self._scalar_slots:
+            setattr(self, name, scalars[name])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
+
+    _array_slots = ("_velocity",)
 
     def __init__(
         self,
@@ -57,6 +130,9 @@ class SGD(Optimizer):
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba)."""
+
+    _array_slots = ("_m", "_v")
+    _scalar_slots = ("_t",)
 
     def __init__(
         self,
@@ -100,6 +176,8 @@ class Adadelta(Optimizer):
     ``lr`` scales the computed update (the paper uses an initial learning
     rate of 1.0 with a decay factor of 0.95, which maps to ``rho=0.95``).
     """
+
+    _array_slots = ("_accum_grad", "_accum_update")
 
     def __init__(
         self,

@@ -1,7 +1,17 @@
-"""State-dict (de)serialisation to ``.npz`` files."""
+"""State-dict (de)serialisation to ``.npz`` files.
+
+Paths are normalised to carry the ``.npz`` suffix in *both* directions:
+``numpy.savez`` historically appended the suffix on save, so
+``save_state_dict(model, "foo")`` wrote ``foo.npz`` while
+``load_state_dict(model, "foo")`` looked for a literal ``foo`` and failed.
+Saves are also atomic (staged to a unique temp file, then ``os.replace``),
+so a crash mid-save never leaves a torn archive under the official name.
+"""
 
 from __future__ import annotations
 
+import os
+import uuid
 from pathlib import Path
 
 import numpy as np
@@ -9,14 +19,42 @@ import numpy as np
 from repro.nn.module import Module
 
 
-def save_state_dict(model: Module, path: str | Path) -> None:
-    """Save a model's parameters and buffers to a compressed ``.npz`` file."""
-    np.savez_compressed(str(path), **model.state_dict())
+def _npz_path(path: str | Path) -> Path:
+    """Normalise ``path`` to end in ``.npz`` (numpy's save-side behaviour)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        return path
+    return path.with_name(path.name + ".npz")
+
+
+def save_state_dict(model: Module, path: str | Path) -> Path:
+    """Atomically save a model's parameters and buffers to ``.npz``.
+
+    Returns the actual path written (``path`` with the ``.npz`` suffix
+    appended if it was missing), so callers that passed a bare stem know
+    where the archive landed.
+    """
+    path = _npz_path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{uuid.uuid4().hex}.tmp")
+    try:
+        # Writing through an open file handle keeps numpy from appending
+        # its own suffix to the temp name.
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **model.state_dict())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # only on a failed write; replace consumed it
+            tmp.unlink()
+    return path
 
 
 def load_state_dict(model: Module, path: str | Path) -> Module:
-    """Load parameters and buffers saved by :func:`save_state_dict`."""
-    with np.load(str(path)) as archive:
+    """Load parameters and buffers saved by :func:`save_state_dict`.
+
+    Accepts the same path that was passed to :func:`save_state_dict`,
+    with or without the ``.npz`` suffix.
+    """
+    with np.load(str(_npz_path(path))) as archive:
         state = {name: archive[name] for name in archive.files}
     model.load_state_dict(state)
     return model

@@ -1,8 +1,18 @@
-"""Mini-batch training loop for probed classifiers."""
+"""Mini-batch training loop for probed classifiers.
+
+The loop is crash-safe when given a checkpoint store: after every epoch it
+snapshots the model state-dict, the optimizer's internal buffers, the
+shuffling RNG's bit-state, and the report history, so a run killed at
+epoch *k* and resumed with ``resume=True`` produces **bit-identical**
+parameters and history to the uninterrupted run (pinned by the hypothesis
+suite in ``tests/test_checkpoint_resume.py``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -11,7 +21,10 @@ from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.nn.sequential import ProbedSequential
-from repro.utils.rng import RngLike, new_rng
+from repro.utils.rng import RngLike, get_rng_state, new_rng, set_rng_state
+
+if TYPE_CHECKING:  # layering: nn never imports core at module load
+    from repro.core.checkpoint import CheckpointStore
 
 
 @dataclass
@@ -26,6 +39,22 @@ class TrainingReport:
         if not self.epoch_accuracies:
             raise ValueError("no epochs recorded")
         return self.epoch_accuracies[-1]
+
+
+def _as_store(checkpoint: "CheckpointStore | str | Path | None"):
+    """Normalise the ``checkpoint`` argument to a store object (or None).
+
+    Paths are resolved lazily through :mod:`repro.core.checkpoint` so the
+    ``nn`` layer carries no import-time dependency on ``core``; anything
+    with ``save``/``load_or_none`` duck-types as a store.
+    """
+    if checkpoint is None:
+        return None
+    if isinstance(checkpoint, (str, Path)):
+        from repro.core.checkpoint import CheckpointStore
+
+        return CheckpointStore(checkpoint)
+    return checkpoint
 
 
 class Trainer:
@@ -52,19 +81,86 @@ class Trainer:
             return self.model.forward_logits(batch)
         return self.model(batch)
 
+    def _begin_epoch(self, epoch: int) -> None:
+        """Fault-injection seam: called at the top of every epoch.
+
+        A no-op in production; :func:`repro.testing.faults.crash_at_epoch`
+        patches it on the instance to simulate a kill at a chosen epoch.
+        """
+
+    def _snapshot(self, epoch: int, epochs: int, count: int, report: TrainingReport) -> dict:
+        """Everything a bit-identical resume needs, as of epoch ``epoch``."""
+        return {
+            "epoch": epoch,
+            "epochs": epochs,
+            "count": count,
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "rng": get_rng_state(self._rng),
+            "losses": list(report.epoch_losses),
+            "accuracies": list(report.epoch_accuracies),
+        }
+
+    def _restore(self, snapshot: dict, count: int) -> TrainingReport:
+        """Load a snapshot back into model/optimizer/RNG; returns the report."""
+        if snapshot["count"] != count:
+            raise ValueError(
+                f"checkpoint was taken on {snapshot['count']} training images, "
+                f"cannot resume on {count}"
+            )
+        self.model.load_state_dict(snapshot["model"])
+        self.optimizer.load_state_dict(snapshot["optimizer"])
+        set_rng_state(self._rng, snapshot["rng"])
+        return TrainingReport(
+            epoch_losses=list(snapshot["losses"]),
+            epoch_accuracies=list(snapshot["accuracies"]),
+        )
+
     def fit(
         self,
         images: np.ndarray,
         labels: np.ndarray,
         epochs: int,
         verbose: bool = False,
+        checkpoint: "CheckpointStore | str | Path | None" = None,
+        checkpoint_name: str = "trainer",
+        resume: bool = False,
     ) -> TrainingReport:
-        """Train for ``epochs`` passes over ``(images, labels)``."""
+        """Train for ``epochs`` passes over ``(images, labels)``.
+
+        With ``checkpoint`` (a :class:`~repro.core.checkpoint.CheckpointStore`
+        or a directory path), every completed epoch is snapshotted
+        atomically under ``checkpoint_name``. With ``resume=True``, a
+        snapshot found in the store restores the model, optimizer buffers,
+        RNG bit-state, and report history, and training continues from the
+        next epoch — exactly reproducing the uninterrupted run. A corrupt
+        or missing snapshot starts fresh; a snapshot taken on a different
+        dataset size is rejected.
+        """
         if len(images) != len(labels):
             raise ValueError("images and labels must have equal length")
-        report = TrainingReport()
         count = len(images)
-        for epoch in range(epochs):
+        if count == 0:
+            raise ValueError(
+                "cannot train on an empty dataset (0 images); an epoch would "
+                "average a loss over no batches"
+            )
+        store = _as_store(checkpoint)
+        if resume and store is None:
+            raise ValueError("resume=True requires a checkpoint store")
+        report = TrainingReport()
+        if epochs == 0:
+            return report
+        start_epoch = 0
+        if resume:
+            snapshot = store.load_or_none(checkpoint_name)
+            if snapshot is not None:
+                report = self._restore(snapshot, count)
+                start_epoch = snapshot["epoch"] + 1
+                if start_epoch >= epochs:
+                    return report
+        for epoch in range(start_epoch, epochs):
+            self._begin_epoch(epoch)
             self.model.train()
             order = self._rng.permutation(count)
             losses: list[float] = []
@@ -82,6 +178,10 @@ class Trainer:
                 correct += int((logits.data.argmax(axis=1) == batch_labels).sum())
             report.epoch_losses.append(float(np.mean(losses)))
             report.epoch_accuracies.append(correct / count)
+            if store is not None:
+                store.save(
+                    checkpoint_name, self._snapshot(epoch, epochs, count, report)
+                )
             if verbose:
                 print(
                     f"epoch {epoch + 1}/{epochs}: "

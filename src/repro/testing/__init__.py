@@ -1,24 +1,33 @@
 """Test-support subpackage: deterministic fault injection for resilience tests.
 
 Nothing here runs in production serving paths; :mod:`repro.testing.faults`
-exists so the resilience suite (and operators rehearsing incident
-response) can inject the failure modes the serving stack claims to
-survive — NaN activations, corrupt artifacts, failing scorers, dying
-worker pools — deterministically and reversibly.
+exists so the resilience and checkpoint suites (and operators rehearsing
+incident response) can inject the failure modes the stack claims to
+survive — NaN activations, corrupt artifacts, failing scorers, dying or
+hanging worker pools, and mid-pipeline process deaths — deterministically
+and reversibly.
 """
 
 from repro.testing.faults import (
     FaultPlan,
+    InjectedCrashError,
     corrupt_artifact,
+    crash_at_epoch,
+    crash_at_task,
     dead_fit_pool,
     fail_packed_scorer,
+    hang_fit_worker,
     nan_activations,
 )
 
 __all__ = [
     "FaultPlan",
+    "InjectedCrashError",
     "corrupt_artifact",
+    "crash_at_epoch",
+    "crash_at_task",
     "dead_fit_pool",
     "fail_packed_scorer",
+    "hang_fit_worker",
     "nan_activations",
 ]

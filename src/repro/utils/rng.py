@@ -8,6 +8,8 @@ reproducible end to end from a single seed.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 RngLike = int | np.random.Generator | None
@@ -37,3 +39,25 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
         return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
     seq = np.random.SeedSequence(seed)
     return [np.random.default_rng(s) for s in seq.spawn(count)]
+
+
+def get_rng_state(gen: np.random.Generator) -> dict:
+    """Snapshot a generator's exact bit-generator state (picklable).
+
+    The returned dict, fed back through :func:`set_rng_state`, makes the
+    generator continue the *identical* stream — the primitive that lets
+    checkpointed pipelines resume bit-for-bit rather than merely
+    re-seeded. The state is deep-copied, so later draws from ``gen`` do
+    not mutate an already-captured snapshot.
+    """
+    return copy.deepcopy(gen.bit_generator.state)
+
+
+def set_rng_state(gen: np.random.Generator, state: dict) -> None:
+    """Restore a state captured by :func:`get_rng_state` into ``gen``.
+
+    The bit-generator types must match (e.g. both PCG64); numpy raises
+    ``TypeError`` otherwise. The state is deep-copied in, so the snapshot
+    stays reusable after the generator advances.
+    """
+    gen.bit_generator.state = copy.deepcopy(state)

@@ -88,10 +88,22 @@ def _build_model(dataset_name: str, profile: dict[str, Any], seed: int) -> Probe
     raise ValueError(f"unknown dataset {dataset_name!r}")
 
 
+def _checkpoint_name(dataset_name: str, profile_name: str, seed: int) -> str:
+    """Checkpoint key for one training run (unique per recipe)."""
+    return f"classifier-{dataset_name}-{profile_name}-seed{seed}"
+
+
 def train_classifier(
-    dataset_name: str, profile_name: str = "tiny", seed: int = 0
+    dataset_name: str, profile_name: str = "tiny", seed: int = 0, checkpoints=None
 ) -> TrainedClassifier:
-    """Train the paper architecture for ``dataset_name`` from scratch."""
+    """Train the paper architecture for ``dataset_name`` from scratch.
+
+    ``checkpoints`` (a :class:`~repro.core.checkpoint.CheckpointStore`)
+    makes the run crash-safe: every epoch is snapshotted, a rerun resumes
+    from the last completed epoch bit-identically, and the snapshot is
+    discarded once training finishes (the artifact cache owns the result
+    from then on).
+    """
     if profile_name not in TRAINING_PROFILES:
         raise ValueError(
             f"unknown profile {profile_name!r}; available: {sorted(TRAINING_PROFILES)}"
@@ -109,7 +121,17 @@ def train_classifier(
     # The paper trains with Adadelta (lr 1.0, decay 0.95, batch 128).
     optimizer = Adadelta(model.parameters(), lr=1.0, rho=0.95)
     trainer = Trainer(model, optimizer, batch_size=profile["batch_size"], rng=seed)
-    report = trainer.fit(dataset.train_images, dataset.train_labels, epochs=profile["epochs"])
+    name = _checkpoint_name(dataset_name, profile_name, seed)
+    report = trainer.fit(
+        dataset.train_images,
+        dataset.train_labels,
+        epochs=profile["epochs"],
+        checkpoint=checkpoints,
+        checkpoint_name=name,
+        resume=checkpoints is not None,
+    )
+    if checkpoints is not None:
+        checkpoints.discard(name)
     model.eval()
     probabilities = model.predict_proba(dataset.test_images)
     predictions = probabilities.argmax(axis=1)
@@ -131,12 +153,19 @@ def get_trained_classifier(
     profile_name: str = "tiny",
     seed: int = 0,
     cache: ArtifactCache | None = None,
+    checkpoints=None,
 ) -> TrainedClassifier:
-    """Return a trained classifier, building and caching it on first use."""
+    """Return a trained classifier, building and caching it on first use.
+
+    ``checkpoints`` passes through to :func:`train_classifier` so a cache
+    miss trains crash-safely (epoch snapshots, bit-identical resume).
+    """
     cache = cache if cache is not None else default_cache()
     config = {"dataset": dataset_name, "profile": profile_name, "seed": seed, "v": 1}
     return cache.get_or_build(
-        "classifier", config, lambda: train_classifier(dataset_name, profile_name, seed)
+        "classifier",
+        config,
+        lambda: train_classifier(dataset_name, profile_name, seed, checkpoints=checkpoints),
     )
 
 

@@ -1,0 +1,131 @@
+"""Bit-identical resume properties under injected kills.
+
+The checkpoint layer's core invariant: a run killed at an arbitrary point
+and resumed from its checkpoint/journal produces **byte-equal** results to
+the run that was never interrupted. Hypothesis drives the kill point (the
+epoch *k* for training, the task index *j* for Algorithm 1 fitting), the
+workload size, and the seed; the deterministic profile in ``conftest.py``
+keeps draws reproducible across machines.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import CheckpointStore
+from repro.core.fitting import solve_tasks
+from repro.core.validator import ValidatorConfig
+from repro.nn import Adam, Trainer
+from repro.testing import InjectedCrashError, crash_at_epoch, crash_at_task
+from tests.helpers import easy_image_task, make_tiny_model
+
+pytestmark = pytest.mark.checkpoint
+
+
+def _train(epochs, seed, store=None, crash_epoch=None, resume=False):
+    """One training run; returns (model, optimizer, report or None)."""
+    model = make_tiny_model(seed=seed)
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    trainer = Trainer(model, optimizer, batch_size=16, rng=seed)
+    x, y = easy_image_task(60, seed=seed + 1)
+    if crash_epoch is not None:
+        with crash_at_epoch(trainer, crash_epoch) as stats:
+            with pytest.raises(InjectedCrashError):
+                trainer.fit(x, y, epochs=epochs, checkpoint=store)
+        assert stats["crashed"]
+        return model, optimizer, None
+    report = trainer.fit(
+        x, y, epochs=epochs, checkpoint=store, resume=resume
+    )
+    return model, optimizer, report
+
+
+def _state_bytes(stateful):
+    return {name: value.tobytes() for name, value in stateful.state_dict().items()}
+
+
+def _optimizer_bytes(optimizer):
+    state = optimizer.state_dict()
+    return (
+        state["scalars"],
+        {
+            name: [buf.tobytes() for buf in bufs]
+            for name, bufs in state["slots"].items()
+        },
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    epochs=st.integers(min_value=2, max_value=4),
+    data=st.data(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_kill_at_epoch_k_resumes_bit_identically(epochs, data, seed):
+    kill_at = data.draw(
+        st.integers(min_value=1, max_value=epochs - 1), label="kill_at"
+    )
+    # Reference: the run that is never interrupted (and never checkpoints,
+    # proving snapshotting itself does not perturb the stream).
+    ref_model, ref_opt, ref_report = _train(epochs, seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(Path(tmp))
+        # Victim: killed at the start of epoch ``kill_at`` (0-based), so
+        # epochs 0..kill_at-1 made it to the store.
+        _train(epochs, seed, store=store, crash_epoch=kill_at)
+        # Survivor: brand-new model/optimizer/trainer objects, restored
+        # purely from the on-disk snapshot.
+        model, optimizer, report = _train(epochs, seed, store=store, resume=True)
+    assert _state_bytes(model) == _state_bytes(ref_model)
+    assert _optimizer_bytes(optimizer) == _optimizer_bytes(ref_opt)
+    assert report.epoch_losses == ref_report.epoch_losses
+    assert report.epoch_accuracies == ref_report.epoch_accuracies
+
+
+def _features(n_tasks, rows, seed):
+    rng = np.random.default_rng(seed)
+    return {
+        (pos, klass): rng.normal(size=(rows, 4))
+        for pos in range(2)
+        for klass in range((n_tasks + 1) // 2)
+    }
+
+
+def _solution_bytes(solutions):
+    return {
+        key: (
+            sol.support_vectors.tobytes(),
+            sol.dual_coef.tobytes(),
+            sol.rho,
+            sol.norm_w,
+        )
+        for key, sol in solutions.items()
+    }
+
+
+@pytest.mark.parametrize("n_jobs", [1, 4])
+@settings(max_examples=5, deadline=None)
+@given(data=st.data(), seed=st.integers(min_value=0, max_value=10_000))
+def test_kill_at_task_j_resumes_bit_identically(n_jobs, data, seed):
+    features = _features(
+        data.draw(st.integers(min_value=4, max_value=8), label="n_tasks"),
+        data.draw(st.integers(min_value=12, max_value=24), label="rows"),
+        seed,
+    )
+    kill_at = data.draw(
+        st.integers(min_value=1, max_value=len(features) - 1), label="kill_at"
+    )
+    config = ValidatorConfig(nu=0.2)
+    reference = solve_tasks(features, config, n_jobs=1)
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = CheckpointStore(Path(tmp)).journal("fit")
+        with crash_at_task(kill_at):
+            with pytest.raises(InjectedCrashError):
+                solve_tasks(features, config, n_jobs=n_jobs, journal=journal)
+        assert len(journal) == kill_at  # exactly j solves survived the kill
+        resumed = solve_tasks(features, config, n_jobs=n_jobs, journal=journal)
+    assert _solution_bytes(resumed) == _solution_bytes(reference)

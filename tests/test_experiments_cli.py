@@ -18,6 +18,29 @@ class TestCli:
         main(["--experiment", "table4"])
         assert "Table IV" in capsys.readouterr().out
 
+    def test_resume_replays_journaled_reports(self, tmp_path, capsys, monkeypatch):
+        ckpt = ["--checkpoint-dir", str(tmp_path)]
+        main(["--experiment", "table4", *ckpt])
+        first = capsys.readouterr().out
+        # A resumed run must replay the journaled report, not recompute it.
+        import repro.experiments.run as run_module
+
+        def exploding(*args, **kwargs):  # pragma: no cover - must not be hit
+            raise AssertionError("completed experiment must not re-run on --resume")
+
+        monkeypatch.setattr(run_module, "run_experiment", exploding)
+        main(["--experiment", "table4", "--resume", *ckpt])
+        assert capsys.readouterr().out == first
+
+    def test_fresh_run_clears_stale_journal(self, tmp_path, capsys):
+        ckpt = ["--checkpoint-dir", str(tmp_path)]
+        main(["--experiment", "table4", *ckpt])
+        capsys.readouterr()
+        main(["--experiment", "table4", *ckpt])  # no --resume: recompute
+        assert "Table IV" in capsys.readouterr().out
+        journal = (tmp_path / "run-tiny-all-seed0.journal").read_bytes()
+        assert journal  # exactly the fresh run's single record, re-journaled
+
     def test_single_dataset_table(self, mnist_context, capsys):
         main(["--experiment", "table5", "--dataset", "synth-mnist"])
         out = capsys.readouterr().out

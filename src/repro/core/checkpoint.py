@@ -9,13 +9,16 @@ contract the parallel-fitting layer makes for worker counts).
 
 Two primitives, both following :class:`~repro.utils.cache.ArtifactCache`
 conventions (stage to a uniquely-named temp file, ``os.replace`` into
-place, sha256 sidecar verified on read, corrupt entries quarantined):
+place, sha256 verified on read, corrupt entries quarantined):
 
-* :class:`CheckpointStore` — atomic whole-state snapshots. ``save`` never
-  leaves a torn checkpoint (the previous snapshot survives any crash
-  mid-write) and ``load_or_none`` treats a corrupt snapshot as absent, so
-  a resume after the worst-case crash simply restarts the interrupted
-  stage from the last good snapshot.
+* :class:`CheckpointStore` — atomic whole-state snapshots. Each snapshot
+  is one self-verifying file (length + sha256 + pickle, the same framing
+  journal records use) that lands in a single ``os.replace``, so ``save``
+  never leaves a torn checkpoint (the previous snapshot survives any
+  crash mid-write — there is no separate integrity file that could land
+  out of step with the payload) and ``load_or_none`` treats a corrupt
+  snapshot as absent, so a resume after the worst-case crash simply
+  restarts the interrupted stage from the last good snapshot.
 * :class:`TaskJournal` — an append-only, per-record-checksummed journal
   for pipelines made of many small independent results (the ``(layer,
   class)`` solves of Algorithm 1, the per-experiment reports of the CLI).
@@ -52,8 +55,18 @@ class CheckpointIntegrityError(CheckpointError):
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
-#: Journal frame header: 8-byte big-endian payload length + 32-byte sha256.
+#: Frame header (checkpoints and journal records alike): 8-byte big-endian
+#: payload length + 32-byte sha256.
 _FRAME_HEADER = struct.Struct(">Q32s")
+
+#: First element of the frame a journal header is wrapped in; see
+#: :meth:`TaskJournal.write_header`.
+_HEADER_SENTINEL = "__task-journal-header__"
+
+
+def _frame(payload: bytes) -> bytes:
+    """One self-verifying frame: length + digest + payload."""
+    return _FRAME_HEADER.pack(len(payload), hashlib.sha256(payload).digest()) + payload
 
 
 def _check_name(name: str) -> str:
@@ -81,12 +94,14 @@ def _atomic_write(path: Path, payload: bytes) -> None:
 class CheckpointStore:
     """Atomic, integrity-checked snapshots of arbitrary picklable state.
 
-    Keys are flat names; each snapshot is a pickle plus a ``.sha256``
-    sidecar. Writes are atomic (temp + ``os.replace``), so a crash during
-    ``save`` leaves the *previous* snapshot intact — the store never holds
-    a torn checkpoint under its official name. Reads verify the sidecar
-    before unpickling; a corrupt entry is quarantined for post-mortem
-    rather than half-loaded.
+    Keys are flat names; each snapshot is a single self-verifying file —
+    the pickle framed with its length and sha256 digest. Writes are atomic
+    (temp + ``os.replace``), and because the digest travels inside the
+    same file there is no crash window in which a good snapshot's payload
+    and integrity record diverge: the store always holds either the
+    previous complete snapshot or the new one. Reads verify the embedded
+    digest before unpickling; a corrupt entry is quarantined for
+    post-mortem rather than half-loaded.
     """
 
     #: Subdirectory (under the store root) that corrupt entries are moved to.
@@ -100,11 +115,6 @@ class CheckpointStore:
         """On-disk path of the snapshot called ``name``."""
         return self.root / f"{_check_name(name)}.ckpt"
 
-    def checksum_path_for(self, name: str) -> Path:
-        """Path of the checksum sidecar written beside each snapshot."""
-        path = self.path_for(name)
-        return path.with_name(path.name + ".sha256")
-
     def exists(self, name: str) -> bool:
         """Whether a snapshot called ``name`` is present."""
         return self.path_for(name).exists()
@@ -112,38 +122,34 @@ class CheckpointStore:
     def save(self, name: str, state: Any) -> None:
         """Atomically snapshot ``state`` under ``name``.
 
-        The pickle is staged and renamed first, then the sidecar: a crash
-        between the two leaves a snapshot whose sidecar is stale, which
-        :meth:`load` rejects (and quarantines) — fail-safe in the same
-        direction as a torn write.
+        Payload and digest are framed into one file and renamed into
+        place in a single ``os.replace`` — a crash at any instant leaves
+        either the previous snapshot or the complete new one, never a
+        payload whose integrity record is out of step.
         """
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-        _atomic_write(self.path_for(name), payload)
-        digest = hashlib.sha256(payload).hexdigest()
-        _atomic_write(self.checksum_path_for(name), (digest + "\n").encode())
+        _atomic_write(self.path_for(name), _frame(payload))
 
     def load(self, name: str) -> Any:
         """Verify and unpickle the snapshot called ``name``.
 
         Raises :class:`FileNotFoundError` if absent, and
         :class:`CheckpointIntegrityError` (after quarantining the entry)
-        if the sidecar is missing or the bytes fail verification.
+        if the frame is truncated or the bytes fail verification.
         """
         path = self.path_for(name)
-        payload = path.read_bytes()
-        sidecar = self.checksum_path_for(name)
-        if not sidecar.exists():
+        blob = path.read_bytes()
+        if len(blob) < _FRAME_HEADER.size:
             self.quarantine(name)
             raise CheckpointIntegrityError(
-                f"{path.name}: checksum sidecar missing; entry quarantined"
+                f"{path.name}: truncated checkpoint frame; entry quarantined"
             )
-        expected = sidecar.read_text().strip()
-        actual = hashlib.sha256(payload).hexdigest()
-        if actual != expected:
+        length, digest = _FRAME_HEADER.unpack(blob[: _FRAME_HEADER.size])
+        payload = blob[_FRAME_HEADER.size :]
+        if len(payload) != length or hashlib.sha256(payload).digest() != digest:
             self.quarantine(name)
             raise CheckpointIntegrityError(
-                f"{path.name}: checksum mismatch (expected {expected[:12]}…, "
-                f"got {actual[:12]}…); entry quarantined"
+                f"{path.name}: checksum mismatch; entry quarantined"
             )
         return pickle.loads(payload)
 
@@ -167,9 +173,6 @@ class CheckpointStore:
 
     def discard(self, name: str) -> bool:
         """Remove the snapshot for ``name``; returns whether one existed."""
-        sidecar = self.checksum_path_for(name)
-        if sidecar.exists():
-            sidecar.unlink()
         path = self.path_for(name)
         if path.exists():
             path.unlink()
@@ -177,7 +180,7 @@ class CheckpointStore:
         return False
 
     def quarantine(self, name: str) -> Path | None:
-        """Move a corrupt snapshot (and sidecar) into ``.quarantine/``."""
+        """Move a corrupt snapshot into ``.quarantine/`` for post-mortem."""
         path = self.path_for(name)
         if not path.exists():
             return None
@@ -186,9 +189,6 @@ class CheckpointStore:
         token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
         destination = hole / f"{path.name}.{token}"
         os.replace(path, destination)
-        sidecar = self.checksum_path_for(name)
-        if sidecar.exists():
-            os.replace(sidecar, hole / f"{sidecar.name}.{token}")
         return destination
 
     def journal(self, name: str) -> "TaskJournal":
@@ -207,6 +207,13 @@ class TaskJournal:
     *complete* frame whose digest fails is storage rot, not a crash, and
     raises :class:`CheckpointIntegrityError` instead of silently dropping
     every record after it.
+
+    A journal may additionally carry a *header* — an identity stamp
+    (:meth:`write_header` / :meth:`header`) written as frame 0 of a fresh
+    journal and excluded from :meth:`replay`. Resumable pipelines store a
+    fingerprint of the config/data their records were computed from, so a
+    stale journal under a reused name is detected and discarded instead
+    of silently replayed into a run it does not belong to.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -220,18 +227,56 @@ class TaskJournal:
     def append(self, record: Any) -> None:
         """Durably append one record (length + digest + pickle, fsynced)."""
         payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-        frame = _FRAME_HEADER.pack(len(payload), hashlib.sha256(payload).digest())
         with open(self.path, "ab") as fh:
-            fh.write(frame + payload)
+            fh.write(_frame(payload))
             fh.flush()
             os.fsync(fh.fileno())
+
+    def write_header(self, header: Any) -> None:
+        """Stamp ``header`` as frame 0 of a *fresh* journal.
+
+        The header identifies what the journal's records were computed
+        from (callers typically store a config/data fingerprint) and is
+        skipped by :meth:`replay`. Stamping an existing journal would
+        misattribute its records, so that raises :class:`CheckpointError`
+        — :meth:`clear` first.
+        """
+        if self.path.exists():
+            raise CheckpointError(
+                f"{self.path.name}: cannot stamp a header onto an existing "
+                "journal; clear() it first"
+            )
+        self.append((_HEADER_SENTINEL, header))
+
+    def header(self) -> Any:
+        """Frame 0's header value, or ``None`` if the journal has none."""
+        for record in self._iter_frames():
+            if self._is_header(record):
+                return record[1]
+            return None
+        return None
+
+    @staticmethod
+    def _is_header(record: Any) -> bool:
+        return (
+            isinstance(record, tuple)
+            and len(record) == 2
+            and record[0] == _HEADER_SENTINEL
+        )
 
     def replay(self) -> list[Any]:
         """Every intact record, in append order; a torn tail is dropped."""
         return list(self.iter_records())
 
     def iter_records(self) -> Iterator[Any]:
-        """Yield intact records lazily; see :meth:`replay`."""
+        """Yield intact records lazily, skipping any header frame."""
+        for index, record in enumerate(self._iter_frames()):
+            if index == 0 and self._is_header(record):
+                continue
+            yield record
+
+    def _iter_frames(self) -> Iterator[Any]:
+        """Yield every intact frame (header included); see :meth:`replay`."""
         if not self.path.exists():
             return
         with open(self.path, "rb") as fh:

@@ -30,7 +30,9 @@ Stage 3 is also the pipeline's recovery point:
   is flushed to disk as it lands; a rerun replays the journal and solves
   only the missing tasks, so a crash at task 97/100 costs three solves,
   not a hundred. Replayed and freshly-solved tasks are bit-identical —
-  both ran the same :func:`_solve_fit_task` math.
+  both ran the same :func:`_solve_fit_task` math. The journal's header
+  frame fingerprints the solve config and task features, so a stale
+  journal under a reused name is discarded, never merged.
 * **Hung-worker watchdog** — a per-task deadline (``task_timeout`` or the
   ``REPRO_FIT_TASK_TIMEOUT`` environment variable, seconds) bounds how
   long the coordinator waits on any one solve; expiry terminates and
@@ -49,6 +51,7 @@ resumed) is pinned by the hypothesis suites in
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass
@@ -57,6 +60,7 @@ import numpy as np
 
 from repro.svm.oneclass import OneClassSVM
 from repro.svm.scaler import StandardScaler
+from repro.utils.cache import hash_array
 from repro.utils.rng import new_rng
 from repro.utils.warnings_ import emit_warning
 
@@ -85,14 +89,27 @@ class HungWorkerError(RuntimeError):
     """
 
 
+class NonRetryableFitError(RuntimeError):
+    """An error the parallel retry machinery must propagate, never absorb.
+
+    The pool-attempt loop wraps arbitrary worker failures for retry and
+    eventual serial fallback; exceptions deriving from this class punch
+    straight through instead. The fault injectors subclass it (via
+    :class:`repro.testing.faults.InjectedCrashError`) so that a
+    misconfiguration they refuse to model — e.g. a hung worker with the
+    watchdog disabled — fails the fit loudly rather than being retried
+    into a silent serial fallback.
+    """
+
+
 class _PoolAttemptFailure(Exception):
     """Internal: one parallel attempt failed in the pool machinery.
 
     Wraps pool-construction errors, dispatch errors, and worker crashes —
     the failures a pool recycle plus retry may fix. Exceptions raised
     while *recording* a finished solution (journal I/O, injected crashes,
-    strict-mode escalations) deliberately do not get this wrapper and
-    propagate to the caller.
+    strict-mode escalations) and :class:`NonRetryableFitError` subclasses
+    deliberately do not get this wrapper and propagate to the caller.
     """
 
 
@@ -299,6 +316,43 @@ def resolve_task_timeout(task_timeout: float | None = None) -> float | None:
     return value if value > 0 else None
 
 
+def _journal_fingerprint(task_features, cfg) -> str:
+    """Identity stamp of one solve: config plus a content hash per task.
+
+    Written as the journal's header so that a journal produced from
+    different data or solver settings under the same name (journals are
+    keyed only by dataset/profile/seed) is discarded instead of silently
+    merged into the fitted validator — replaying foreign solutions would
+    break the bit-identity contract without any error.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(sorted(cfg.items())).encode())
+    for key in sorted(task_features):
+        digest.update(repr(key).encode())
+        digest.update(hash_array(task_features[key]).encode())
+    return digest.hexdigest()
+
+
+def _replay_journal(journal, task_features, cfg) -> dict:
+    """Validated journal replay: prior solutions, or a cleared journal.
+
+    A journal whose header matches this solve's fingerprint replays its
+    recorded solutions; a mismatch (different data/config, or a
+    pre-header journal) clears it. Either way the journal leaves stamped
+    with the current fingerprint, ready for incremental appends.
+    """
+    fingerprint = _journal_fingerprint(task_features, cfg)
+    if journal.exists() and journal.header() != fingerprint:
+        journal.clear()
+    if not journal.exists():
+        journal.write_header(fingerprint)
+    return {
+        key: solution
+        for key, solution in journal.replay()
+        if key in task_features
+    }
+
+
 def _record_solution(key, solution, solutions, journal) -> None:
     """Land one finished solution: merge it and flush it to the journal.
 
@@ -334,6 +388,8 @@ def _solve_parallel(
                 (key, pool.apply_async(_solve_fit_task, ((key, task_features[key], cfg),)))
                 for key in pending
             ]
+        except NonRetryableFitError:
+            raise
         except Exception as exc:  # noqa: BLE001
             raise _PoolAttemptFailure(exc) from exc
         for key, handle in handles:
@@ -346,6 +402,8 @@ def _solve_parallel(
                     f"fit task {key} missed its {timeout}s deadline "
                     f"({TASK_TIMEOUT_ENV}); recycling the worker pool"
                 ) from exc
+            except NonRetryableFitError:
+                raise
             except Exception as exc:  # noqa: BLE001
                 raise _PoolAttemptFailure(exc) from exc
             _record_solution(solved_key, solution, solutions, journal)
@@ -372,7 +430,9 @@ def solve_tasks(
     ``journal`` (a :class:`~repro.core.checkpoint.TaskJournal`) makes the
     solve resumable: previously journaled solutions are replayed instead
     of recomputed, and every new solution is flushed before the next task
-    starts. ``task_timeout`` (default: ``REPRO_FIT_TASK_TIMEOUT``) is the
+    starts. The journal carries a fingerprint header of the solve config
+    and task features; a journal written for different data or settings
+    is cleared rather than replayed. ``task_timeout`` (default: ``REPRO_FIT_TASK_TIMEOUT``) is the
     hung-worker watchdog — a task that misses the deadline gets its pool
     terminated and recycled. Pool failures of any kind are retried up to
     ``max_retries`` times with exponential backoff (``retry_backoff``,
@@ -385,9 +445,7 @@ def solve_tasks(
     ordered = sorted(task_features)
     solutions: dict = {}
     if journal is not None:
-        for key, solution in journal.replay():
-            if key in task_features:
-                solutions[key] = solution
+        solutions.update(_replay_journal(journal, task_features, cfg))
     n_jobs = resolve_n_jobs(n_jobs)
     timeout = resolve_task_timeout(task_timeout)
     pending = [key for key in ordered if key not in solutions]

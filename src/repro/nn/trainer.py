@@ -88,11 +88,10 @@ class Trainer:
         patches it on the instance to simulate a kill at a chosen epoch.
         """
 
-    def _snapshot(self, epoch: int, epochs: int, count: int, report: TrainingReport) -> dict:
+    def _snapshot(self, epoch: int, count: int, report: TrainingReport) -> dict:
         """Everything a bit-identical resume needs, as of epoch ``epoch``."""
         return {
             "epoch": epoch,
-            "epochs": epochs,
             "count": count,
             "model": self.model.state_dict(),
             "optimizer": self.optimizer.state_dict(),
@@ -135,7 +134,9 @@ class Trainer:
         RNG bit-state, and report history, and training continues from the
         next epoch — exactly reproducing the uninterrupted run. A corrupt
         or missing snapshot starts fresh; a snapshot taken on a different
-        dataset size is rejected.
+        dataset size is rejected. When nothing is left to train (``epochs``
+        already covered by the snapshot, or ``epochs=0``), the restored —
+        or, without a snapshot, empty — history is returned as-is.
         """
         if len(images) != len(labels):
             raise ValueError("images and labels must have equal length")
@@ -149,16 +150,17 @@ class Trainer:
         if resume and store is None:
             raise ValueError("resume=True requires a checkpoint store")
         report = TrainingReport()
-        if epochs == 0:
-            return report
         start_epoch = 0
         if resume:
             snapshot = store.load_or_none(checkpoint_name)
             if snapshot is not None:
                 report = self._restore(snapshot, count)
                 start_epoch = snapshot["epoch"] + 1
-                if start_epoch >= epochs:
-                    return report
+        # No epochs left to run (epochs=0, or the snapshot already covers
+        # the request): return whatever history exists — restored or empty
+        # — without touching model/optimizer state further.
+        if start_epoch >= epochs:
+            return report
         for epoch in range(start_epoch, epochs):
             self._begin_epoch(epoch)
             self.model.train()
@@ -179,9 +181,7 @@ class Trainer:
             report.epoch_losses.append(float(np.mean(losses)))
             report.epoch_accuracies.append(correct / count)
             if store is not None:
-                store.save(
-                    checkpoint_name, self._snapshot(epoch, epochs, count, report)
-                )
+                store.save(checkpoint_name, self._snapshot(epoch, count, report))
             if verbose:
                 print(
                     f"epoch {epoch + 1}/{epochs}: "

@@ -46,6 +46,8 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from repro.core.fitting import NonRetryableFitError
+
 
 # -- activation faults ---------------------------------------------------------
 
@@ -244,8 +246,11 @@ class _HangingResult:
             if timeout is None:
                 # A real hung worker with no deadline would block forever;
                 # failing loudly here turns a disabled watchdog into a test
-                # failure instead of a hung test suite.
-                raise RuntimeError(
+                # failure instead of a hung test suite. InjectedCrashError
+                # derives from NonRetryableFitError, so the retry loop
+                # propagates it rather than degrading to the serial
+                # fallback behind a mere warning.
+                raise InjectedCrashError(
                     "injected hung fit worker would deadlock: no task "
                     "deadline configured (REPRO_FIT_TASK_TIMEOUT)"
                 )
@@ -332,13 +337,16 @@ def hang_fit_worker(
 # -- offline-pipeline crash faults ---------------------------------------------
 
 
-class InjectedCrashError(RuntimeError):
-    """The exception raised by the crash_at_* injectors.
+class InjectedCrashError(NonRetryableFitError):
+    """The exception raised by the crash_at_* and deadlock-guard injectors.
 
     Deliberately *not* a fault the pipelines recover from in-process: it
     models the process dying (OOM-kill, power cut), so tests catch it at
     the call site and then prove that a *resumed* run completes
-    bit-identically from the persisted checkpoint/journal state.
+    bit-identically from the persisted checkpoint/journal state. Deriving
+    from :class:`repro.core.fitting.NonRetryableFitError` guarantees the
+    parallel retry machinery propagates it instead of wrapping it for
+    retry and serial fallback.
     """
 
 

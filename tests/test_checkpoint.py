@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.core.checkpoint import (
+    CheckpointError,
     CheckpointIntegrityError,
     CheckpointStore,
     TaskJournal,
@@ -51,7 +52,9 @@ class TestCheckpointStore:
         store.save("a", list(range(100)))
         store.save("a", list(range(200)))  # overwrite stages + replaces
         assert not list(tmp_path.glob("*.tmp"))
-        assert store.checksum_path_for("a").exists()
+        # The digest travels inside the .ckpt file itself — one file per
+        # snapshot, so no crash window can tear payload from integrity.
+        assert [p.name for p in tmp_path.iterdir()] == ["a.ckpt"]
         assert store.load("a") == list(range(200))
 
     def test_corrupt_checkpoint_quarantined(self, tmp_path):
@@ -66,12 +69,36 @@ class TestCheckpointStore:
         assert not store.exists("a")
         assert list((tmp_path / CheckpointStore.QUARANTINE_DIR).glob("a.ckpt.*"))
 
-    def test_missing_sidecar_rejected(self, tmp_path):
+    def test_truncated_checkpoint_rejected(self, tmp_path):
         store = CheckpointStore(tmp_path)
         store.save("a", 42)
-        store.checksum_path_for("a").unlink()
+        path = store.path_for("a")
+        with open(path, "r+b") as fh:
+            fh.truncate(path.stat().st_size - 3)  # torn payload
         with pytest.raises(CheckpointIntegrityError):
             store.load("a")
+        store.save("b", 42)
+        path = store.path_for("b")
+        with open(path, "r+b") as fh:
+            fh.truncate(10)  # torn frame header
+        with pytest.raises(CheckpointIntegrityError):
+            store.load("b")
+
+    def test_failed_overwrite_preserves_previous_snapshot(self, tmp_path, monkeypatch):
+        # The crash window the single-file format closes: dying anywhere
+        # inside save() must leave the previous snapshot loadable.
+        store = CheckpointStore(tmp_path)
+        store.save("a", "good")
+        import repro.core.checkpoint as checkpoint_mod
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash during rename")
+
+        monkeypatch.setattr(checkpoint_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.save("a", "newer")
+        monkeypatch.undo()
+        assert store.load("a") == "good"
 
     def test_load_or_none_treats_damage_as_absent(self, tmp_path):
         store = CheckpointStore(tmp_path)
@@ -85,7 +112,7 @@ class TestCheckpointStore:
         store.save("a", 1)
         assert store.discard("a") is True
         assert store.discard("a") is False
-        assert not store.checksum_path_for("a").exists()
+        assert not store.path_for("a").exists()
 
     def test_name_validation(self, tmp_path):
         store = CheckpointStore(tmp_path)
@@ -144,6 +171,27 @@ class TestTaskJournal:
 
     def test_empty_journal_replays_empty(self, tmp_path):
         assert TaskJournal(tmp_path / "nope.journal").replay() == []
+
+    def test_header_roundtrip_and_replay_skips_it(self, tmp_path):
+        journal = TaskJournal(tmp_path / "j.journal")
+        assert journal.header() is None  # missing journal: no header
+        journal.write_header("fingerprint-1")
+        journal.append("record")
+        assert journal.header() == "fingerprint-1"
+        assert journal.replay() == ["record"]
+        assert len(journal) == 1  # the header frame is not a record
+
+    def test_header_requires_fresh_journal(self, tmp_path):
+        journal = TaskJournal(tmp_path / "j.journal")
+        journal.append("record")
+        with pytest.raises(CheckpointError, match="existing journal"):
+            journal.write_header("late")
+
+    def test_headerless_journal_reports_none(self, tmp_path):
+        journal = TaskJournal(tmp_path / "j.journal")
+        journal.append(("some", "record"))
+        assert journal.header() is None
+        assert journal.replay() == [("some", "record")]
 
 
 class TestRngState:
@@ -317,6 +365,18 @@ class TestTrainerEdgeCases:
         trainer.fit(x, y, epochs=2, checkpoint=tmp_path / "ck", checkpoint_name="t")
         assert (tmp_path / "ck" / "t.ckpt").exists()
 
+    def test_epochs_zero_resume_returns_restored_history(self, tmp_path):
+        # "Nothing left to train" must answer consistently: with a
+        # snapshot, epochs=0 + resume returns the restored history, not
+        # an empty report.
+        store = CheckpointStore(tmp_path)
+        x, y = easy_image_task(16, seed=0)
+        model = make_tiny_model()
+        trainer = Trainer(model, Adam(model.parameters()), batch_size=8, rng=0)
+        report = trainer.fit(x, y, epochs=2, checkpoint=store)
+        again = trainer.fit(x, y, epochs=0, checkpoint=store, resume=True)
+        assert again.epoch_losses == report.epoch_losses
+
     def test_completed_checkpoint_resumes_to_noop(self, tmp_path):
         store = CheckpointStore(tmp_path)
         x, y = easy_image_task(16, seed=0)
@@ -379,13 +439,49 @@ class TestSolveTasksRecovery:
         replayed = solve_tasks(features, config, n_jobs=1, journal=journal)
         assert sorted(replayed) == sorted(features)
 
-    def test_stale_journal_keys_ignored(self, tmp_path):
+    def test_legacy_headerless_journal_discarded(self, tmp_path):
+        # A journal with no fingerprint header cannot be attributed to
+        # this solve: it is cleared and rebuilt, never merged.
         features = _task_features()
         config = ValidatorConfig(nu=0.2)
         journal = TaskJournal(tmp_path / "fit.journal")
         journal.append(((99, 99), "stale"))
         solutions = solve_tasks(features, config, n_jobs=1, journal=journal)
         assert (99, 99) not in solutions
+        assert journal.header() is not None  # re-stamped for this solve
+        assert len(journal) == len(features)  # stale record gone
+
+    def _count_resolves(self, monkeypatch):
+        import repro.core.fitting as fitting
+
+        solved: list = []
+        original = fitting._solve_fit_task
+
+        def counting(payload):
+            solved.append(payload[0])
+            return original(payload)
+
+        monkeypatch.setattr(fitting, "_solve_fit_task", counting)
+        return solved
+
+    def test_journal_for_different_config_discarded(self, tmp_path, monkeypatch):
+        features = _task_features()
+        journal = TaskJournal(tmp_path / "fit.journal")
+        solve_tasks(features, ValidatorConfig(nu=0.2), n_jobs=1, journal=journal)
+        # Same journal name, different solver settings: the fingerprint
+        # header mismatches, so nothing may replay into the new solve.
+        solved = self._count_resolves(monkeypatch)
+        solve_tasks(features, ValidatorConfig(nu=0.5), n_jobs=1, journal=journal)
+        assert sorted(solved) == sorted(features)
+
+    def test_journal_for_different_features_discarded(self, tmp_path, monkeypatch):
+        config = ValidatorConfig(nu=0.2)
+        journal = TaskJournal(tmp_path / "fit.journal")
+        solve_tasks(_task_features(seed=0), config, n_jobs=1, journal=journal)
+        solved = self._count_resolves(monkeypatch)
+        features = _task_features(seed=1)  # same keys, different data
+        solve_tasks(features, config, n_jobs=1, journal=journal)
+        assert sorted(solved) == sorted(features)
 
     def test_transient_hang_recovers_via_pool_recycle(self):
         features = _task_features()
@@ -417,12 +513,13 @@ class TestSolveTasksRecovery:
 
     def test_hang_without_deadline_is_loud(self):
         # The injector refuses to model a silent deadlock: with the
-        # watchdog disabled, the hang surfaces as an error, which the
-        # retry loop converts into the serial fallback (with a warning).
+        # watchdog disabled, the hang surfaces as InjectedCrashError,
+        # which the retry machinery deliberately propagates — the test
+        # fails loudly instead of passing via the serial fallback.
         features = _task_features()
         config = ValidatorConfig(nu=0.2)
         with hang_fit_worker(nth=1, count=1, pools=-1):
-            with pytest.warns(ParallelFitWarning):
+            with pytest.raises(InjectedCrashError, match="deadlock"):
                 solve_tasks(
                     features, config, n_jobs=4, task_timeout=0, retry_backoff=0.0
                 )

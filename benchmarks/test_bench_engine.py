@@ -25,7 +25,9 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.validator import DeepValidator, LayerValidator, ValidatorConfig
+from repro.obs.metrics import MetricsRegistry
 
 pytestmark = pytest.mark.bench
 
@@ -104,6 +106,9 @@ def _end_to_end() -> dict:
         atol=1e-8,
         rtol=0,
     )
+    # Re-score the batch the guard just cached so the recorded snapshot
+    # also exercises the hit path of the content-addressed cache.
+    engine.discrepancies(images)
 
     def per_sample():
         for i in range(BATCH):
@@ -125,9 +130,44 @@ def _end_to_end() -> dict:
     }
 
 
+def _metrics_summary(snapshot: dict) -> dict:
+    """Flatten the run's observability snapshot into the bench record.
+
+    Captures the engine cache hit rate and the instrumented per-stage
+    wall-time histograms so the JSON trajectory tracks *where* the time
+    goes, not just the headline samples/sec.
+    """
+    requests = {
+        series["labels"]["result"]: series["value"]
+        for series in snapshot.get("engine_cache_requests_total", {}).get("series", [])
+    }
+    hits = requests.get("hit", 0.0)
+    total = hits + requests.get("miss", 0.0)
+    stage_seconds = {}
+    for name in ("engine_layer_score_seconds", "svm_packed_gemm_seconds"):
+        for series in snapshot.get(name, {}).get("series", []):
+            key = name
+            if series["labels"]:
+                key += "." + next(iter(series["labels"].values()))
+            stage_seconds[key] = {
+                "count": int(series["count"]),
+                "total_seconds": round(series["sum"], 4),
+            }
+    return {
+        "cache": {
+            "hits": hits,
+            "misses": requests.get("miss", 0.0),
+            "hit_rate": round(hits / total, 4) if total else None,
+        },
+        "stage_seconds": stage_seconds,
+    }
+
+
 def test_batched_engine_speedup(capsys):
-    scoring = _scoring_only()
-    end_to_end = _end_to_end()
+    registry = MetricsRegistry()
+    with obs.use(registry=registry):
+        scoring = _scoring_only()
+        end_to_end = _end_to_end()
     record = {
         "benchmark": "engine-batched-scoring",
         "batch": BATCH,
@@ -135,6 +175,7 @@ def test_batched_engine_speedup(capsys):
         "dim": DIM,
         "scoring_only": scoring,
         "end_to_end": end_to_end,
+        "metrics": _metrics_summary(registry.snapshot()),
     }
     (REPO_ROOT / "BENCH_engine.json").write_text(json.dumps(record, indent=2) + "\n")
     with capsys.disabled():

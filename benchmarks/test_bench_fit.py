@@ -23,8 +23,10 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.fitting import fit_validators_from_arrays, resolve_n_jobs
 from repro.core.validator import DeepValidator, ValidatorConfig
+from repro.obs.metrics import MetricsRegistry
 
 pytestmark = pytest.mark.bench
 
@@ -110,10 +112,43 @@ def _end_to_end() -> dict:
     }
 
 
+def _metrics_summary(snapshot: dict) -> dict:
+    """Flatten the run's observability snapshot into the bench record.
+
+    Captures how many ``(layer, class)`` solves ran in each execution mode
+    (pool vs in-process vs journal replay), how often the pool needed
+    retries or a serial fallback, and the per-stage wall-time histograms
+    (plan / extract / solve) so the JSON trajectory tracks *where* fit
+    time goes, not just the headline seconds.
+    """
+    tasks_by_mode = {
+        series["labels"]["mode"]: series["value"]
+        for series in snapshot.get("fit_tasks_total", {}).get("series", [])
+    }
+    stage_seconds = {
+        series["labels"]["stage"]: {
+            "count": int(series["count"]),
+            "total_seconds": round(series["sum"], 4),
+        }
+        for series in snapshot.get("profile_stage_seconds", {}).get("series", [])
+    }
+    counters = {}
+    for name in ("fit_pool_retries_total", "fit_serial_fallback_total"):
+        series = snapshot.get(name, {}).get("series", [])
+        counters[name] = series[0]["value"] if series else 0.0
+    return {
+        "tasks_by_mode": tasks_by_mode,
+        "stage_seconds": stage_seconds,
+        "counters": counters,
+    }
+
+
 def test_parallel_fit_speedup(capsys):
     cores = resolve_n_jobs(-1)
-    solve = _solve_stage()
-    end_to_end = _end_to_end()
+    registry = MetricsRegistry()
+    with obs.use(registry=registry):
+        solve = _solve_stage()
+        end_to_end = _end_to_end()
     record = {
         "benchmark": "fit-parallel-task-graph",
         "layers": LAYERS,
@@ -122,6 +157,7 @@ def test_parallel_fit_speedup(capsys):
         "cores": cores,
         "solve_stage": solve,
         "end_to_end_fit": end_to_end,
+        "metrics": _metrics_summary(registry.snapshot()),
     }
     (REPO_ROOT / "BENCH_fit.json").write_text(json.dumps(record, indent=2) + "\n")
     with capsys.disabled():

@@ -13,6 +13,7 @@ Run with::
 
 import numpy as np
 
+from repro import obs
 from repro.core import DeepValidator, InputGuard, RuntimeMonitor, ValidatorConfig
 from repro.core.thresholds import fpr_calibrated_threshold
 from repro.transforms import Brightness, Compose, Rotation
@@ -72,6 +73,22 @@ def main() -> None:
         print(f"  {name:>6}: breaker {layer['state']}, "
               f"{layer['failures']} failures, "
               f"{layer['skipped_batches']} skipped batches")
+
+    # The observability layer was recording the whole time: dump what a
+    # scraper would see (docs/observability.md catalogues every series).
+    if obs.enabled():
+        print("\nmetrics snapshot:")
+        for name, family in sorted(obs.get_registry().snapshot().items()):
+            for series in family["series"]:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(series["labels"].items())
+                )
+                suffix = f"{{{labels}}}" if labels else ""
+                if family["type"] == "histogram":
+                    print(f"  {name}{suffix} count={series['count']:.0f} "
+                          f"sum={series['sum']:.4f}s")
+                else:
+                    print(f"  {name}{suffix} = {series['value']:.0f}")
 
     # Sanity: the monitor must escalate as conditions degrade, quarantine the
     # glitched frame, and report every breaker healthy.

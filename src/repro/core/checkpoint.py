@@ -44,6 +44,16 @@ import uuid
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro import obs
+
+
+def _loads_counter():
+    return obs.counter(
+        "checkpoint_loads_total",
+        help="Checkpoint snapshot reads by outcome",
+        labels=("result",),
+    )
+
 
 class CheckpointError(RuntimeError):
     """Base class for checkpoint-store failures."""
@@ -129,6 +139,9 @@ class CheckpointStore:
         """
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         _atomic_write(self.path_for(name), _frame(payload))
+        obs.counter(
+            "checkpoint_saves_total", help="Checkpoint snapshots written"
+        ).inc()
 
     def load(self, name: str) -> Any:
         """Verify and unpickle the snapshot called ``name``.
@@ -141,6 +154,7 @@ class CheckpointStore:
         blob = path.read_bytes()
         if len(blob) < _FRAME_HEADER.size:
             self.quarantine(name)
+            _loads_counter().labels(result="corrupt").inc()
             raise CheckpointIntegrityError(
                 f"{path.name}: truncated checkpoint frame; entry quarantined"
             )
@@ -148,10 +162,13 @@ class CheckpointStore:
         payload = blob[_FRAME_HEADER.size :]
         if len(payload) != length or hashlib.sha256(payload).digest() != digest:
             self.quarantine(name)
+            _loads_counter().labels(result="corrupt").inc()
             raise CheckpointIntegrityError(
                 f"{path.name}: checksum mismatch; entry quarantined"
             )
-        return pickle.loads(payload)
+        state = pickle.loads(payload)
+        _loads_counter().labels(result="ok").inc()
+        return state
 
     def load_or_none(self, name: str) -> Any:
         """The resume entry point: the snapshot, or ``None`` if unusable.
@@ -189,6 +206,10 @@ class CheckpointStore:
         token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
         destination = hole / f"{path.name}.{token}"
         os.replace(path, destination)
+        obs.counter(
+            "checkpoint_quarantines_total",
+            help="Corrupt checkpoint snapshots moved to quarantine",
+        ).inc()
         return destination
 
     def journal(self, name: str) -> "TaskJournal":
@@ -231,6 +252,9 @@ class TaskJournal:
             fh.write(_frame(payload))
             fh.flush()
             os.fsync(fh.fileno())
+        obs.counter(
+            "journal_appends_total", help="Journal records durably appended"
+        ).inc()
 
     def write_header(self, header: Any) -> None:
         """Stamp ``header`` as frame 0 of a *fresh* journal.
@@ -270,9 +294,14 @@ class TaskJournal:
 
     def iter_records(self) -> Iterator[Any]:
         """Yield intact records lazily, skipping any header frame."""
+        replayed = obs.counter(
+            "journal_replayed_records_total",
+            help="Intact journal records yielded by replay",
+        )
         for index, record in enumerate(self._iter_frames()):
             if index == 0 and self._is_header(record):
                 continue
+            replayed.inc()
             yield record
 
     def _iter_frames(self) -> Iterator[Any]:

@@ -32,7 +32,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.utils.cache import LRUCache, hash_array
+
+
+def _cache_counter():
+    return obs.counter(
+        "engine_cache_requests_total",
+        help="Engine score-cache lookups by result",
+        labels=("result",),
+    )
+
+
+def _layer_seconds():
+    return obs.histogram(
+        "engine_layer_score_seconds",
+        help="Per-layer kernel-scoring wall time",
+        labels=("layer",),
+    )
 
 
 class ValidationEngine:
@@ -74,14 +91,19 @@ class ValidationEngine:
             images, batch_size=self.chunk_size
         )
         predictions = probabilities.argmax(axis=1)
-        columns = [
-            validator.discrepancy_batched(
-                representations[validator.layer_index],
-                predictions,
-                chunk_size=self.chunk_size,
-            )
-            for validator in self.validator.validators
-        ]
+        columns = []
+        for validator in self.validator.validators:
+            name = validator.layer_name
+            with obs.span("engine.layer_score", layer=name), obs.timed(
+                _layer_seconds().labels(layer=name)
+            ):
+                columns.append(
+                    validator.discrepancy_batched(
+                        representations[validator.layer_index],
+                        predictions,
+                        chunk_size=self.chunk_size,
+                    )
+                )
         per_layer = np.stack(columns, axis=1)
         # Frozen so cache hits can hand back the stored arrays directly.
         predictions.flags.writeable = False
@@ -101,7 +123,15 @@ class ValidationEngine:
         if len(images) == 0:
             return self._empty_result()
         key = hash_array(images)
-        return self.cache.get_or_compute(key, lambda: self._compute(images))
+        cached = self.cache.get(key)
+        if cached is not None:
+            _cache_counter().labels(result="hit").inc()
+            return cached
+        _cache_counter().labels(result="miss").inc()
+        with obs.span("engine.discrepancies", batch=len(images)):
+            result = self._compute(images)
+        self.cache.put(key, result)
+        return result
 
     def discrepancies_resilient(
         self, images: np.ndarray, skip: frozenset[int] | set[int] = frozenset()
@@ -133,34 +163,47 @@ class ValidationEngine:
         if not skip:
             cached = self.cache.get(key)
             if cached is not None:
+                _cache_counter().labels(result="hit").inc()
                 predictions, per_layer = cached
                 return predictions, per_layer, {}
-        probabilities, representations = self.model.hidden_representations(
-            images, batch_size=self.chunk_size
-        )
-        predictions = probabilities.argmax(axis=1)
-        errors: dict[int, Exception] = {}
-        columns = []
-        for position, validator in enumerate(self.validator.validators):
-            if position in skip:
-                columns.append(np.full(len(images), np.nan))
-                continue
-            try:
-                # A numerically-broken layer (NaN/Inf representations)
-                # must surface as NaN discrepancies the monitor can see,
-                # not as numpy RuntimeWarnings spamming serving logs.
-                with np.errstate(invalid="ignore", over="ignore"):
-                    columns.append(
-                        validator.discrepancy_batched(
-                            representations[validator.layer_index],
-                            predictions,
-                            chunk_size=self.chunk_size,
+        _cache_counter().labels(result="miss").inc()
+        with obs.span(
+            "engine.discrepancies_resilient", batch=len(images), skipped=len(skip)
+        ):
+            probabilities, representations = self.model.hidden_representations(
+                images, batch_size=self.chunk_size
+            )
+            predictions = probabilities.argmax(axis=1)
+            errors: dict[int, Exception] = {}
+            columns = []
+            for position, validator in enumerate(self.validator.validators):
+                if position in skip:
+                    columns.append(np.full(len(images), np.nan))
+                    continue
+                name = validator.layer_name
+                try:
+                    # A numerically-broken layer (NaN/Inf representations)
+                    # must surface as NaN discrepancies the monitor can see,
+                    # not as numpy RuntimeWarnings spamming serving logs.
+                    with np.errstate(invalid="ignore", over="ignore"), obs.span(
+                        "engine.layer_score", layer=name
+                    ), obs.timed(_layer_seconds().labels(layer=name)):
+                        columns.append(
+                            validator.discrepancy_batched(
+                                representations[validator.layer_index],
+                                predictions,
+                                chunk_size=self.chunk_size,
+                            )
                         )
-                    )
-            except Exception as exc:  # noqa: BLE001 — isolation is the contract
-                errors[position] = exc
-                columns.append(np.full(len(images), np.nan))
-        per_layer = np.stack(columns, axis=1)
+                except Exception as exc:  # noqa: BLE001 — isolation is the contract
+                    obs.counter(
+                        "engine_layer_failures_total",
+                        help="Layer scorers that raised during resilient scoring",
+                        labels=("layer",),
+                    ).labels(layer=name).inc()
+                    errors[position] = exc
+                    columns.append(np.full(len(images), np.nan))
+            per_layer = np.stack(columns, axis=1)
         predictions.flags.writeable = False
         per_layer.flags.writeable = False
         # Never memoise a faulty result: a cached NaN column (a raising

@@ -58,11 +58,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+from repro.obs.profile import profile_section
 from repro.svm.oneclass import OneClassSVM
 from repro.svm.scaler import StandardScaler
 from repro.utils.cache import hash_array
 from repro.utils.rng import new_rng
 from repro.utils.warnings_ import emit_warning
+
+
+def _tasks_counter():
+    return obs.counter(
+        "fit_tasks_total",
+        help="Completed (layer, class) solves by execution mode",
+        labels=("mode",),
+    )
 
 #: Environment variable holding the per-task watchdog deadline, in seconds.
 TASK_TIMEOUT_ENV = "REPRO_FIT_TASK_TIMEOUT"
@@ -444,41 +454,62 @@ def solve_tasks(
     cfg = _solve_config(config)
     ordered = sorted(task_features)
     solutions: dict = {}
-    if journal is not None:
-        solutions.update(_replay_journal(journal, task_features, cfg))
-    n_jobs = resolve_n_jobs(n_jobs)
-    timeout = resolve_task_timeout(task_timeout)
-    pending = [key for key in ordered if key not in solutions]
-    if n_jobs > 1 and len(pending) > 1:
-        attempts = 1 + max(0, int(max_retries))
-        failure: Exception | None = None
-        for attempt in range(attempts):
-            if attempt:
-                _sleep(retry_backoff * (2 ** (attempt - 1)))
-            pending = [key for key in ordered if key not in solutions]
-            if not pending:
-                break
-            try:
-                _solve_parallel(
-                    pending, task_features, cfg, n_jobs, timeout, solutions, journal
+    with obs.span("fit.solve_tasks", tasks=len(ordered), n_jobs=n_jobs), \
+            profile_section("fit.solve"):
+        if journal is not None:
+            replayed = _replay_journal(journal, task_features, cfg)
+            if replayed:
+                _tasks_counter().labels(mode="replayed").inc(len(replayed))
+            solutions.update(replayed)
+        n_jobs = resolve_n_jobs(n_jobs)
+        timeout = resolve_task_timeout(task_timeout)
+        pending = [key for key in ordered if key not in solutions]
+        if n_jobs > 1 and len(pending) > 1:
+            attempts = 1 + max(0, int(max_retries))
+            failure: Exception | None = None
+            solved_before = len(solutions)
+            for attempt in range(attempts):
+                if attempt:
+                    obs.counter(
+                        "fit_pool_retries_total",
+                        help="Parallel-fit pool attempts beyond the first",
+                    ).inc()
+                    _sleep(retry_backoff * (2 ** (attempt - 1)))
+                pending = [key for key in ordered if key not in solutions]
+                if not pending:
+                    break
+                try:
+                    _solve_parallel(
+                        pending, task_features, cfg, n_jobs, timeout, solutions, journal
+                    )
+                    failure = None
+                    break
+                except (HungWorkerError, _PoolAttemptFailure) as exc:
+                    failure = exc
+            if len(solutions) > solved_before:
+                _tasks_counter().labels(mode="pool").inc(
+                    len(solutions) - solved_before
                 )
-                failure = None
-                break
-            except (HungWorkerError, _PoolAttemptFailure) as exc:
-                failure = exc
-        if failure is not None:
-            cause = failure.__cause__ if failure.__cause__ is not None else failure
-            emit_warning(
-                f"parallel fit (n_jobs={n_jobs}) failed after {attempts} "
-                f"attempt(s) with {type(cause).__name__}: {cause}; "
-                "falling back to in-process fitting",
-                ParallelFitWarning,
-                stacklevel=2,
-            )
-    for key in ordered:
-        if key not in solutions:
-            _, solution = _solve_fit_task((key, task_features[key], cfg))
-            _record_solution(key, solution, solutions, journal)
+            if failure is not None:
+                obs.counter(
+                    "fit_serial_fallback_total",
+                    help="Fits whose pool retries were exhausted and degraded "
+                    "to in-process solving",
+                ).inc()
+                cause = failure.__cause__ if failure.__cause__ is not None else failure
+                emit_warning(
+                    f"parallel fit (n_jobs={n_jobs}) failed after {attempts} "
+                    f"attempt(s) with {type(cause).__name__}: {cause}; "
+                    "falling back to in-process fitting",
+                    ParallelFitWarning,
+                    stacklevel=2,
+                )
+        for key in ordered:
+            if key not in solutions:
+                with obs.span("fit.solve_task", layer=key[0], klass=key[1]):
+                    _, solution = _solve_fit_task((key, task_features[key], cfg))
+                _tasks_counter().labels(mode="inprocess").inc()
+                _record_solution(key, solution, solutions, journal)
     return {key: solutions[key] for key in ordered}
 
 
@@ -549,14 +580,21 @@ def fit_deep_validator(
     fitted per-layer validators in layer order.
     """
     layer_positions = list(enumerate(layer_indices))
-    tasks = plan_fit_tasks(labels, layer_positions, config)
-    task_features = extract_task_features(model, images, tasks, chunk_size=chunk_size)
-    if n_jobs is None:
-        n_jobs = getattr(config, "n_jobs", 1)
-    solutions = solve_tasks(task_features, config, n_jobs=n_jobs, journal=journal)
-    return build_layer_validators(
-        tasks, solutions, layer_positions, model.probe_names, config
-    )
+    with obs.span(
+        "fit.pipeline", layers=len(layer_indices), images=len(images)
+    ):
+        with profile_section("fit.plan"):
+            tasks = plan_fit_tasks(labels, layer_positions, config)
+        with profile_section("fit.extract"):
+            task_features = extract_task_features(
+                model, images, tasks, chunk_size=chunk_size
+            )
+        if n_jobs is None:
+            n_jobs = getattr(config, "n_jobs", 1)
+        solutions = solve_tasks(task_features, config, n_jobs=n_jobs, journal=journal)
+        return build_layer_validators(
+            tasks, solutions, layer_positions, model.probe_names, config
+        )
 
 
 def fit_validators_from_arrays(

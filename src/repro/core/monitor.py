@@ -31,6 +31,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core import resilience
 from repro.core.resilience import (
     CircuitBreaker,
@@ -40,6 +41,29 @@ from repro.core.resilience import (
 )
 from repro.core.validator import DeepValidator
 from repro.utils.warnings_ import emit_warning
+
+#: Numeric encoding of breaker states for the ``monitor_breaker_state`` gauge.
+BREAKER_STATE_CODES = {
+    CircuitBreaker.CLOSED: 0,
+    CircuitBreaker.HALF_OPEN: 1,
+    CircuitBreaker.OPEN: 2,
+}
+
+
+def _verdicts_counter():
+    return obs.counter(
+        "monitor_verdicts_total",
+        help="Verdicts issued by the runtime monitor, by status",
+        labels=("status",),
+    )
+
+
+def _breaker_state_gauge():
+    return obs.gauge(
+        "monitor_breaker_state",
+        help="Per-layer circuit-breaker state (0=closed, 1=half-open, 2=open)",
+        labels=("layer",),
+    )
 
 
 @dataclass
@@ -133,12 +157,28 @@ class RuntimeMonitor:
 
     def _layer_health(self, position: int) -> _LayerHealth:
         if position not in self._layers:
+            name = self._layer_name(position)
+
+            def publish(old_state: str, new_state: str, layer: str = name) -> None:
+                obs.counter(
+                    "monitor_breaker_transitions_total",
+                    help="Circuit-breaker state transitions per layer",
+                    labels=("layer", "to"),
+                ).labels(layer=layer, to=new_state).inc()
+                _breaker_state_gauge().labels(layer=layer).set(
+                    BREAKER_STATE_CODES[new_state]
+                )
+
             self._layers[position] = _LayerHealth(
                 CircuitBreaker(
                     failure_threshold=self._breaker_threshold,
                     cooldown=self._breaker_cooldown,
                     clock=self._clock,
+                    on_transition=publish,
                 )
+            )
+            _breaker_state_gauge().labels(layer=name).set(
+                BREAKER_STATE_CODES[CircuitBreaker.CLOSED]
             )
         return self._layers[position]
 
@@ -160,6 +200,7 @@ class RuntimeMonitor:
         )
 
     def _finish(self, verdict: ValidationVerdict) -> ValidationVerdict:
+        _verdicts_counter().labels(status=verdict.status).inc()
         if verdict.status == resilience.QUARANTINED:
             self.stats["quarantined"] += 1
         else:
@@ -183,27 +224,29 @@ class RuntimeMonitor:
         degrades the verdict instead of raising. Verdicts come back in
         input order, one per image.
         """
-        report = self.guard.inspect(images)
-        if report.batch_reason is not None:
-            return [
-                self._finish(self._quarantine_verdict(report.batch_reason))
-                for _ in range(report.count)
-            ]
-        batch = report.images
-        ok_mask = report.ok_mask
-        scored = self._score(batch[ok_mask]) if ok_mask.any() else []
-        verdicts: list[ValidationVerdict] = []
-        scored_iter = iter(scored)
-        for index in range(report.count):
-            if index in report.sample_reasons:
-                verdicts.append(
-                    self._finish(
-                        self._quarantine_verdict(report.sample_reasons[index])
+        with obs.span("monitor.classify") as span:
+            report = self.guard.inspect(images)
+            span.set(batch=report.count)
+            if report.batch_reason is not None:
+                return [
+                    self._finish(self._quarantine_verdict(report.batch_reason))
+                    for _ in range(report.count)
+                ]
+            batch = report.images
+            ok_mask = report.ok_mask
+            scored = self._score(batch[ok_mask]) if ok_mask.any() else []
+            verdicts: list[ValidationVerdict] = []
+            scored_iter = iter(scored)
+            for index in range(report.count):
+                if index in report.sample_reasons:
+                    verdicts.append(
+                        self._finish(
+                            self._quarantine_verdict(report.sample_reasons[index])
+                        )
                     )
-                )
-            else:
-                verdicts.append(self._finish(next(scored_iter)))
-        return verdicts
+                else:
+                    verdicts.append(self._finish(next(scored_iter)))
+            return verdicts
 
     def _score(self, images: np.ndarray) -> list[ValidationVerdict]:
         """Score guard-approved images, isolating substrate failures."""
@@ -320,6 +363,9 @@ class RuntimeMonitor:
         error, and how many batches were served while it was skipped.
         ``counts`` mirrors ``stats``; ``quarantined`` and
         ``rejection_rate`` are surfaced at the top level for dashboards.
+        ``metrics`` embeds the current observability registry snapshot
+        (``{}`` when ``REPRO_OBS=0``), so one ``health()`` poll carries
+        both the monitor's own bookkeeping and the process-wide metrics.
         """
         layers = {}
         for position in range(len(self.validator.validators)):
@@ -335,4 +381,5 @@ class RuntimeMonitor:
             "counts": dict(self.stats),
             "quarantined": self.stats["quarantined"],
             "rejection_rate": rate,
+            "metrics": obs.get_registry().snapshot() if obs.enabled() else {},
         }

@@ -181,7 +181,12 @@ class CircuitBreaker:
     failure re-opens it and restarts the cooldown.
 
     ``clock`` is injectable (default ``time.monotonic``) so tests drive
-    the lifecycle deterministically.
+    the lifecycle deterministically. ``on_transition(old, new)`` is an
+    optional hook fired on every state change (including the lazy
+    open → half-open cooldown transition); the monitor uses it to publish
+    breaker state metrics without this module importing the observability
+    layer. Hook exceptions propagate — a broken hook is a bug, not a
+    serving condition.
     """
 
     CLOSED = "closed"
@@ -193,6 +198,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
@@ -201,6 +207,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.clock = clock
+        self.on_transition = on_transition
         self._state = self.CLOSED
         self._opened_at: float | None = None
         self.failures = 0
@@ -208,13 +215,19 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.times_opened = 0
 
+    def _transition(self, new_state: str) -> None:
+        old_state = self._state
+        self._state = new_state
+        if self.on_transition is not None and old_state != new_state:
+            self.on_transition(old_state, new_state)
+
     @property
     def state(self) -> str:
         """Current state, transitioning open → half-open once cooled down."""
         if self._state == self.OPEN and (
             self.clock() - self._opened_at >= self.cooldown
         ):
-            self._state = self.HALF_OPEN
+            self._transition(self.HALF_OPEN)
         return self._state
 
     def allow(self) -> bool:
@@ -226,7 +239,7 @@ class CircuitBreaker:
         self.successes += 1
         self.consecutive_failures = 0
         if self.state == self.HALF_OPEN:
-            self._state = self.CLOSED
+            self._transition(self.CLOSED)
             self._opened_at = None
 
     def record_failure(self) -> None:
@@ -238,7 +251,7 @@ class CircuitBreaker:
             state == self.CLOSED
             and self.consecutive_failures >= self.failure_threshold
         ):
-            self._state = self.OPEN
+            self._transition(self.OPEN)
             self._opened_at = self.clock()
             self.times_opened += 1
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.checkpoint import CheckpointStore
 from repro.core.fitting import default_fit_jobs
 from repro.core.validator import DeepValidator, ValidatorConfig
@@ -108,32 +109,36 @@ def _build_context(
     an uninterrupted build. Once the finished context lands in the
     artifact cache, its intermediate checkpoint state is discarded.
     """
-    checkpoints = CheckpointStore(cache.root / ".checkpoints")
-    classifier = get_trained_classifier(
-        dataset_name, profile, seed=seed, checkpoints=checkpoints
-    )
-    model = classifier.model
-    dataset = classifier.dataset
-    suite_params = _SUITE_PARAMS[profile]
-    suite = build_corner_case_suite(
-        model, dataset, rng=seed, **suite_params
-    )
+    with obs.span("context.build", dataset=dataset_name, profile=profile):
+        checkpoints = CheckpointStore(cache.root / ".checkpoints")
+        with obs.span("context.train_classifier"):
+            classifier = get_trained_classifier(
+                dataset_name, profile, seed=seed, checkpoints=checkpoints
+            )
+        model = classifier.model
+        dataset = classifier.dataset
+        suite_params = _SUITE_PARAMS[profile]
+        with obs.span("context.corner_suite"):
+            suite = build_corner_case_suite(
+                model, dataset, rng=seed, **suite_params
+            )
 
-    probe_count = len(model.probe_names)
-    layers = None
-    if dataset_name == "synth-cifar":
-        # The paper validates only the rear layers of its DenseNet (IV-C).
-        layers = rear_layer_indices(probe_count)
-    # Parallel fitting is bit-identical to serial (the determinism suite
-    # pins this), so the worker count does not belong in the cache key.
-    config = ValidatorConfig(
-        layers=layers, seed=seed, n_jobs=default_fit_jobs(),
-        **_VALIDATOR_PARAMS[profile],
-    )
-    validator = DeepValidator(model, config)
-    journal = checkpoints.journal(f"fit-{dataset_name}-{profile}-seed{seed}")
-    validator.fit(dataset.train_images, dataset.train_labels, journal=journal)
-    journal.clear()  # the fitted validator lands in the artifact cache
+        probe_count = len(model.probe_names)
+        layers = None
+        if dataset_name == "synth-cifar":
+            # The paper validates only the rear layers of its DenseNet (IV-C).
+            layers = rear_layer_indices(probe_count)
+        # Parallel fitting is bit-identical to serial (the determinism suite
+        # pins this), so the worker count does not belong in the cache key.
+        config = ValidatorConfig(
+            layers=layers, seed=seed, n_jobs=default_fit_jobs(),
+            **_VALIDATOR_PARAMS[profile],
+        )
+        validator = DeepValidator(model, config)
+        journal = checkpoints.journal(f"fit-{dataset_name}-{profile}-seed{seed}")
+        with obs.span("context.fit_validator"):
+            validator.fit(dataset.train_images, dataset.train_labels, journal=journal)
+        journal.clear()  # the fitted validator lands in the artifact cache
 
     # Clean evaluation sample, disjoint from the corner-case seeds where
     # possible: the paper samples as many clean test images as corner cases.

@@ -16,12 +16,19 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.autograd.tensor import Tensor
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.nn.sequential import ProbedSequential
 from repro.utils.rng import RngLike, get_rng_state, new_rng, set_rng_state
+
+
+def _epoch_seconds():
+    return obs.histogram(
+        "trainer_epoch_seconds", help="Wall-clock time per training epoch"
+    )
 
 if TYPE_CHECKING:  # layering: nn never imports core at module load
     from repro.core.checkpoint import CheckpointStore
@@ -162,24 +169,28 @@ class Trainer:
         if start_epoch >= epochs:
             return report
         for epoch in range(start_epoch, epochs):
-            self._begin_epoch(epoch)
-            self.model.train()
-            order = self._rng.permutation(count)
-            losses: list[float] = []
-            correct = 0
-            for start in range(0, count, self.batch_size):
-                idx = order[start : start + self.batch_size]
-                batch = Tensor(images[idx].astype(np.float32, copy=False))
-                batch_labels = labels[idx]
-                self.optimizer.zero_grad()
-                logits = self._logits(batch)
-                loss = cross_entropy(logits, batch_labels)
-                loss.backward()
-                self.optimizer.step()
-                losses.append(loss.item())
-                correct += int((logits.data.argmax(axis=1) == batch_labels).sum())
-            report.epoch_losses.append(float(np.mean(losses)))
-            report.epoch_accuracies.append(correct / count)
+            with obs.span("trainer.epoch", epoch=epoch), obs.timed(_epoch_seconds()):
+                self._begin_epoch(epoch)
+                self.model.train()
+                order = self._rng.permutation(count)
+                losses: list[float] = []
+                correct = 0
+                for start in range(0, count, self.batch_size):
+                    idx = order[start : start + self.batch_size]
+                    batch = Tensor(images[idx].astype(np.float32, copy=False))
+                    batch_labels = labels[idx]
+                    self.optimizer.zero_grad()
+                    logits = self._logits(batch)
+                    loss = cross_entropy(logits, batch_labels)
+                    loss.backward()
+                    self.optimizer.step()
+                    losses.append(loss.item())
+                    correct += int((logits.data.argmax(axis=1) == batch_labels).sum())
+                report.epoch_losses.append(float(np.mean(losses)))
+                report.epoch_accuracies.append(correct / count)
+            obs.counter(
+                "trainer_epochs_total", help="Completed training epochs"
+            ).inc()
             if store is not None:
                 store.save(checkpoint_name, self._snapshot(epoch, count, report))
             if verbose:

@@ -30,9 +30,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.svm.kernels import Kernel, LinearKernel, PolynomialKernel, RBFKernel
 from repro.svm.oneclass import OneClassSVM
 from repro.svm.scaler import StandardScaler
+
+
+def _gemm_seconds():
+    return obs.histogram(
+        "svm_packed_gemm_seconds",
+        help="Stacked kernel-evaluation (augmented GEMM) wall time per chunk",
+    )
 
 
 @dataclass
@@ -87,6 +95,10 @@ class PackedClassSVMs:
         megabytes, and each avoided temporary is a full pass over memory.
         """
         features = np.asarray(features, dtype=np.float64)
+        with obs.timed(_gemm_seconds()):
+            return self._decision_matrix(features)
+
+    def _decision_matrix(self, features: np.ndarray) -> np.ndarray:
         augmented = np.empty((len(features), features.shape[1] + 1))
         augmented[:, :-1] = features
         augmented[:, -1] = 1.0

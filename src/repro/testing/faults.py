@@ -17,6 +17,9 @@ The four fault classes mirror the resilience layer's threat model:
   to exercise the unpickling-error path rather than the checksum path);
 * :func:`fail_packed_scorer` — a scorer that starts raising: the packed
   batched scorer of one layer validator fails on chosen call numbers;
+* :func:`slow_layer` — a scorer that gets slow: one layer validator's
+  batched scorer gains a fixed per-call latency, advanced against a
+  fake clock (or slept, with a real one) so latency metrics are testable;
 * :func:`dead_fit_pool` — worker death: the fitting pipeline's
   multiprocessing pool dies on dispatch, exercising the in-process
   fallback;
@@ -181,6 +184,54 @@ def fail_packed_scorer(
         return original(representations, predicted, chunk_size=chunk_size)
 
     layer_validator.discrepancy_batched = flaky
+    try:
+        yield stats
+    finally:
+        if had_instance_attr:
+            layer_validator.discrepancy_batched = original
+        else:
+            del layer_validator.discrepancy_batched
+
+
+@contextlib.contextmanager
+def slow_layer(layer_validator, seconds: float, clock=None) -> Iterator[dict]:
+    """Make one layer's batched scorer take ``seconds`` per call.
+
+    Latency-shaping counterpart of :func:`fail_packed_scorer`: every
+    ``discrepancy_batched`` call on the patched instance "takes"
+    ``seconds`` longer, so per-layer latency histograms and span
+    durations attribute time to the right layer. Fake-clock compatible:
+    ``clock`` defaults to the current observability tracer's clock, and a
+    clock with an ``advance`` method (:class:`repro.obs.tracing.ManualClock`)
+    is advanced instead of slept against — tests inject latency without
+    wall-clock cost. With a real clock, the injector sleeps. Yields a
+    stats dict whose ``"calls"`` entry counts afflicted invocations.
+    """
+    if seconds < 0:
+        raise ValueError(f"cannot make a layer {seconds}s slower")
+    had_instance_attr = "discrepancy_batched" in layer_validator.__dict__
+    original = layer_validator.discrepancy_batched
+    stats = {"calls": 0}
+
+    def delay() -> None:
+        source = clock
+        if source is None:
+            from repro import obs
+
+            source = obs.get_tracer().clock
+        if hasattr(source, "advance"):
+            source.advance(seconds)
+        else:
+            import time
+
+            time.sleep(seconds)
+
+    def sluggish(representations, predicted, chunk_size=None):
+        stats["calls"] += 1
+        delay()
+        return original(representations, predicted, chunk_size=chunk_size)
+
+    layer_validator.discrepancy_batched = sluggish
     try:
         yield stats
     finally:
@@ -457,6 +508,14 @@ class FaultPlan:
             lambda: fail_packed_scorer(layer_validator, nth=nth, count=count)
         )
         self._labels.append(f"fail_packed_scorer(nth={nth}, count={count})")
+        return self
+
+    def slow_layer(self, layer_validator, seconds: float, clock=None) -> "FaultPlan":
+        """Register per-call latency on one layer's batched scorer."""
+        self._factories.append(
+            lambda: slow_layer(layer_validator, seconds, clock=clock)
+        )
+        self._labels.append(f"slow_layer(seconds={seconds})")
         return self
 
     def dead_fit_pool(self) -> "FaultPlan":

@@ -1,0 +1,134 @@
+"""Schema tests for the committed benchmark trajectory records.
+
+``BENCH_engine.json`` and ``BENCH_fit.json`` at the repository root are
+rewritten by the ``-m bench`` runners and committed so the perf
+trajectory is reviewable across PRs. These tests pin the record *shape*
+(keys and value types, including the embedded observability summary) so
+a bench refactor cannot silently drop a field that downstream tooling or
+a reviewer relies on. Values themselves are machine-dependent and stay
+unchecked.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load(name: str) -> dict:
+    path = REPO_ROOT / name
+    if not path.exists():
+        pytest.fail(f"{name} missing: run the -m bench suite to regenerate it")
+    return json.loads(path.read_text())
+
+
+def _assert_stage_seconds(stage_seconds):
+    assert isinstance(stage_seconds, dict) and stage_seconds
+    for stage, timing in stage_seconds.items():
+        assert isinstance(stage, str)
+        assert set(timing) == {"count", "total_seconds"}
+        assert isinstance(timing["count"], int) and timing["count"] > 0
+        assert isinstance(timing["total_seconds"], (int, float))
+        assert timing["total_seconds"] >= 0
+
+
+class TestEngineBenchRecord:
+    def test_top_level_schema(self):
+        record = _load("BENCH_engine.json")
+        assert set(record) == {
+            "benchmark",
+            "batch",
+            "classes",
+            "dim",
+            "scoring_only",
+            "end_to_end",
+            "metrics",
+        }
+        assert record["benchmark"] == "engine-batched-scoring"
+        for key in ("batch", "classes", "dim"):
+            assert isinstance(record[key], int)
+
+    def test_measurement_sections(self):
+        record = _load("BENCH_engine.json")
+        assert set(record["scoring_only"]) == {
+            "support_vectors",
+            "per_sample_samples_per_sec",
+            "batched_samples_per_sec",
+            "speedup",
+        }
+        assert set(record["end_to_end"]) == {
+            "validated_layers",
+            "per_sample_samples_per_sec",
+            "batched_samples_per_sec",
+            "speedup",
+        }
+        for section in (record["scoring_only"], record["end_to_end"]):
+            assert section["speedup"] > 0
+
+    def test_metrics_summary(self):
+        metrics = _load("BENCH_engine.json")["metrics"]
+        assert set(metrics) == {"cache", "stage_seconds"}
+        cache = metrics["cache"]
+        assert set(cache) == {"hits", "misses", "hit_rate"}
+        assert cache["hits"] >= 0 and cache["misses"] >= 0
+        if cache["hits"] + cache["misses"]:
+            assert 0.0 <= cache["hit_rate"] <= 1.0
+        else:
+            assert cache["hit_rate"] is None
+        _assert_stage_seconds(metrics["stage_seconds"])
+        # The instrumented hot paths must actually show up in the record.
+        assert any(
+            key.startswith("engine_layer_score_seconds.")
+            for key in metrics["stage_seconds"]
+        )
+        assert "svm_packed_gemm_seconds" in metrics["stage_seconds"]
+
+
+class TestFitBenchRecord:
+    def test_top_level_schema(self):
+        record = _load("BENCH_fit.json")
+        assert set(record) == {
+            "benchmark",
+            "layers",
+            "classes",
+            "per_class",
+            "cores",
+            "solve_stage",
+            "end_to_end_fit",
+            "metrics",
+        }
+        assert record["benchmark"] == "fit-parallel-task-graph"
+        for key in ("layers", "classes", "per_class", "cores"):
+            assert isinstance(record[key], int)
+
+    def test_measurement_sections(self):
+        record = _load("BENCH_fit.json")
+        assert set(record["solve_stage"]) == {
+            "tasks",
+            "n_jobs",
+            "serial_seconds",
+            "parallel_seconds",
+            "speedup",
+        }
+        assert set(record["end_to_end_fit"]) == {
+            "n_jobs",
+            "serial_seconds",
+            "parallel_seconds",
+        }
+
+    def test_metrics_summary(self):
+        metrics = _load("BENCH_fit.json")["metrics"]
+        assert set(metrics) == {"tasks_by_mode", "stage_seconds", "counters"}
+        tasks = metrics["tasks_by_mode"]
+        assert set(tasks) <= {"pool", "inprocess", "replayed"}
+        assert sum(tasks.values()) > 0
+        _assert_stage_seconds(metrics["stage_seconds"])
+        assert "fit.solve" in metrics["stage_seconds"]
+        assert set(metrics["counters"]) == {
+            "fit_pool_retries_total",
+            "fit_serial_fallback_total",
+        }
+        for value in metrics["counters"].values():
+            assert value >= 0

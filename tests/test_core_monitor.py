@@ -5,6 +5,23 @@ import pytest
 
 from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
 
+#: Every top-level key ``RuntimeMonitor.health()`` documents.
+HEALTH_KEYS = {"layers", "counts", "quarantined", "rejection_rate", "metrics"}
+
+#: Every per-layer key of the ``layers`` section (breaker snapshot + extras).
+LAYER_KEYS = {
+    "state",
+    "failures",
+    "successes",
+    "consecutive_failures",
+    "times_opened",
+    "last_error",
+    "skipped_batches",
+}
+
+#: Every verdict tally of the ``counts`` section.
+COUNT_KEYS = {"accepted", "rejected", "quarantined", "degraded"}
+
 
 @pytest.fixture(scope="module")
 def fitted_validator(trained_tiny_model):
@@ -73,3 +90,140 @@ class TestRuntimeMonitor:
         np.testing.assert_array_equal(
             [v.prediction for v in verdicts], model.predict(test_x[:10])
         )
+
+
+class TestHealthRegression:
+    """Pin every documented ``health()`` field across the four verdict flows.
+
+    These are regression tests for the operator contract: any key that
+    appears, disappears, or changes meaning must show up here as a
+    deliberate edit, not a silent drift.
+    """
+
+    def _assert_shape(self, health, n_layers=3):
+        assert set(health) == HEALTH_KEYS
+        assert set(health["counts"]) == COUNT_KEYS
+        assert len(health["layers"]) == n_layers
+        for snapshot in health["layers"].values():
+            assert set(snapshot) == LAYER_KEYS
+        assert isinstance(health["metrics"], dict)
+
+    def test_fresh_monitor_health(self, fitted_validator):
+        monitor = RuntimeMonitor(fitted_validator)
+        health = monitor.health()
+        self._assert_shape(health)
+        assert set(health["layers"]) == {"conv1", "conv2", "fc1"}
+        assert health["counts"] == {
+            "accepted": 0, "rejected": 0, "quarantined": 0, "degraded": 0,
+        }
+        assert health["quarantined"] == 0
+        assert np.isnan(health["rejection_rate"])
+        for snapshot in health["layers"].values():
+            assert snapshot["state"] == "closed"
+            assert snapshot["failures"] == 0
+            assert snapshot["successes"] == 0
+            assert snapshot["consecutive_failures"] == 0
+            assert snapshot["times_opened"] == 0
+            assert snapshot["last_error"] is None
+            assert snapshot["skipped_batches"] == 0
+
+    def test_validated_flow(self, fitted_validator, trained_tiny_model):
+        _, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(fitted_validator)
+        verdicts = monitor.classify(test_x[:10])
+        accepted = sum(v.status == "VALIDATED" for v in verdicts)
+        assert accepted > 0
+        health = monitor.health()
+        self._assert_shape(health)
+        assert health["counts"]["accepted"] == accepted
+        assert health["counts"]["degraded"] == 0
+        assert health["quarantined"] == 0
+        assert health["rejection_rate"] == health["counts"]["rejected"] / 10
+        for snapshot in health["layers"].values():
+            assert snapshot["state"] == "closed"
+            assert snapshot["successes"] == 1  # one healthy batch
+            assert snapshot["failures"] == 0
+
+    def test_flagged_flow(self, fitted_validator):
+        monitor = RuntimeMonitor(fitted_validator)
+        noise = np.random.default_rng(5).random((12, 1, 12, 12))
+        verdicts = monitor.classify(noise)
+        flagged = sum(v.status == "FLAGGED" for v in verdicts)
+        assert flagged > 0
+        health = monitor.health()
+        self._assert_shape(health)
+        assert health["counts"]["rejected"] == flagged + sum(
+            v.status == "DEGRADED" and not v.accepted for v in verdicts
+        )
+        assert health["rejection_rate"] == health["counts"]["rejected"] / 12
+        # Flagging is a verdict about the *input*, not a substrate failure.
+        for snapshot in health["layers"].values():
+            assert snapshot["state"] == "closed"
+            assert snapshot["failures"] == 0
+            assert snapshot["last_error"] is None
+
+    def test_degraded_flow(self, fitted_validator, trained_tiny_model):
+        from repro.testing.faults import fail_packed_scorer
+
+        _, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(fitted_validator, breaker_threshold=2)
+        with fail_packed_scorer(fitted_validator.validators[1], nth=1, count=-1):
+            with pytest.warns(Warning):
+                verdicts = monitor.classify(test_x[:6])
+        assert all(v.status == "DEGRADED" for v in verdicts)
+        health = monitor.health()
+        self._assert_shape(health)
+        assert health["counts"]["degraded"] == 6
+        # Degraded verdicts still carry an accept/flag decision, so they
+        # also land in accepted/rejected.
+        assert (
+            health["counts"]["accepted"] + health["counts"]["rejected"] == 6
+        )
+        broken = health["layers"]["conv2"]
+        assert broken["failures"] == 1
+        assert broken["consecutive_failures"] == 1
+        assert broken["state"] == "closed"  # threshold 2, one failure so far
+        assert "InjectedScorerError" in broken["last_error"]
+        for name in ("conv1", "fc1"):
+            assert health["layers"][name]["failures"] == 0
+            assert health["layers"][name]["successes"] == 1
+
+    def test_quarantined_flow(self, fitted_validator):
+        monitor = RuntimeMonitor(fitted_validator)
+        bad = np.full((3, 1, 12, 12), np.nan)
+        verdicts = monitor.classify(bad)
+        assert all(v.status == "QUARANTINED" for v in verdicts)
+        health = monitor.health()
+        self._assert_shape(health)
+        assert health["counts"] == {
+            "accepted": 0, "rejected": 0, "quarantined": 3, "degraded": 0,
+        }
+        assert health["quarantined"] == 3
+        # Quarantined inputs were never scored: the rate stays NaN and no
+        # breaker saw a success or failure.
+        assert np.isnan(health["rejection_rate"])
+        for snapshot in health["layers"].values():
+            assert snapshot["successes"] == 0
+            assert snapshot["failures"] == 0
+
+    def test_open_breaker_counts_skipped_batches(
+        self, fitted_validator, trained_tiny_model
+    ):
+        from repro.testing.faults import fail_packed_scorer
+
+        _, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(
+            fitted_validator, breaker_threshold=1, breaker_cooldown=3600.0
+        )
+        with fail_packed_scorer(fitted_validator.validators[0], nth=1, count=-1):
+            with pytest.warns(Warning):
+                monitor.classify(test_x[:2])  # trips the breaker open
+        with pytest.warns(Warning):
+            monitor.classify(test_x[2:4])  # served while conv1 is skipped
+        health = monitor.health()
+        self._assert_shape(health)
+        conv1 = health["layers"]["conv1"]
+        assert conv1["state"] == "open"
+        assert conv1["times_opened"] == 1
+        assert conv1["skipped_batches"] == 1
+        assert health["counts"]["degraded"] == 4

@@ -116,6 +116,12 @@ class ValidationEngine:
         An empty batch short-circuits to ``(0,)``/``(0, L)`` results
         without touching the model — serving paths see ``n=0`` windows
         whenever every input of a batch was quarantined upstream.
+
+        Concurrent calls with identical batches are single-flighted
+        through the score cache: one thread runs the forward pass and
+        kernel work (one cache miss), the rest adopt its result (cache
+        hits) — N identical in-flight requests cost one computation and
+        the hit/miss accounting stays exact.
         """
         if not self.validator.validators:
             raise RuntimeError("DeepValidator is not fitted")
@@ -123,14 +129,16 @@ class ValidationEngine:
         if len(images) == 0:
             return self._empty_result()
         key = hash_array(images)
-        cached = self.cache.get(key)
-        if cached is not None:
-            _cache_counter().labels(result="hit").inc()
-            return cached
-        _cache_counter().labels(result="miss").inc()
-        with obs.span("engine.discrepancies", batch=len(images)):
-            result = self._compute(images)
-        self.cache.put(key, result)
+        computed = False
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            nonlocal computed
+            computed = True
+            with obs.span("engine.discrepancies", batch=len(images)):
+                return self._compute(images)
+
+        result = self.cache.get_or_compute(key, compute)
+        _cache_counter().labels(result="miss" if computed else "hit").inc()
         return result
 
     def discrepancies_resilient(
@@ -152,6 +160,14 @@ class ValidationEngine:
         serving traffic immediately shares the normal path's cache.
         Results containing skipped or failed columns are never cached
         (a cached failure would mask recovery).
+
+        Like :meth:`discrepancies`, identical concurrent no-skip batches
+        are single-flighted: one thread computes, the rest adopt its
+        ``(predictions, D)``. A thread that adopts a *faulty* in-flight
+        result sees its NaN columns but an empty ``layer_errors`` map —
+        the monitor independently detects non-finite columns, so failure
+        accounting still fires. Batches with a non-empty ``skip`` are
+        computed directly (the cache key doesn't encode the skip set).
         """
         if not self.validator.validators:
             raise RuntimeError("DeepValidator is not fitted")
@@ -159,14 +175,36 @@ class ValidationEngine:
         if len(images) == 0:
             predictions, per_layer = self._empty_result()
             return predictions, per_layer, {}
+        if skip:
+            _cache_counter().labels(result="miss").inc()
+            return self._compute_resilient(images, skip)
         key = hash_array(images)
-        if not skip:
-            cached = self.cache.get(key)
-            if cached is not None:
-                _cache_counter().labels(result="hit").inc()
-                predictions, per_layer = cached
-                return predictions, per_layer, {}
-        _cache_counter().labels(result="miss").inc()
+        computed = False
+        errors_box: dict[int, Exception] = {}
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            nonlocal computed
+            computed = True
+            predictions, per_layer, errors = self._compute_resilient(images, skip)
+            errors_box.update(errors)
+            return predictions, per_layer
+
+        def clean(result: tuple[np.ndarray, np.ndarray]) -> bool:
+            # Never memoise a faulty result: a cached NaN column (a raising
+            # scorer leaves one, but so does a silently-NaN substrate) would
+            # keep serving the failure long after the layer recovered.
+            return not errors_box and bool(np.isfinite(result[1]).all())
+
+        predictions, per_layer = self.cache.get_or_compute(
+            key, compute, cache_if=clean
+        )
+        _cache_counter().labels(result="miss" if computed else "hit").inc()
+        return predictions, per_layer, dict(errors_box)
+
+    def _compute_resilient(
+        self, images: np.ndarray, skip: frozenset[int] | set[int]
+    ) -> tuple[np.ndarray, np.ndarray, dict[int, Exception]]:
+        """The fault-isolated computation behind :meth:`discrepancies_resilient`."""
         with obs.span(
             "engine.discrepancies_resilient", batch=len(images), skipped=len(skip)
         ):
@@ -206,11 +244,6 @@ class ValidationEngine:
             per_layer = np.stack(columns, axis=1)
         predictions.flags.writeable = False
         per_layer.flags.writeable = False
-        # Never memoise a faulty result: a cached NaN column (a raising
-        # scorer leaves one, but so does a silently-NaN substrate) would
-        # keep serving the failure long after the layer recovered.
-        if not skip and not errors and np.isfinite(per_layer).all():
-            self.cache.put(key, (predictions, per_layer))
         return predictions, per_layer, errors
 
     def joint_discrepancy(self, images: np.ndarray) -> np.ndarray:

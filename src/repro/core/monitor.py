@@ -25,6 +25,7 @@ Operators observe partial failure through :meth:`RuntimeMonitor.health`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -111,6 +112,14 @@ class _LayerHealth:
 class RuntimeMonitor:
     """Wraps a fitted :class:`DeepValidator` into a guarded classifier.
 
+    The monitor is thread-safe: any number of serving threads (e.g. the
+    :mod:`repro.serve` worker pool) may call :meth:`classify`
+    concurrently. Verdict tallies, the lazily-built per-layer breaker
+    registry, and breaker state transitions are serialised by locks held
+    only around bookkeeping — the forward pass and kernel scoring run
+    unlocked, so concurrent batches overlap. :meth:`health` returns an
+    atomic snapshot.
+
     Parameters
     ----------
     validator:
@@ -145,6 +154,10 @@ class RuntimeMonitor:
         self._clock = clock if clock is not None else time.monotonic
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown = breaker_cooldown
+        # Guards the verdict tallies, the lazy breaker registry, and the
+        # per-layer bookkeeping. Scoring itself (forward pass + kernels)
+        # runs outside the lock, so concurrent batches overlap freely.
+        self._lock = threading.RLock()
         self._layers: dict[int, _LayerHealth] = {}
         self.stats = {
             "accepted": 0,
@@ -156,7 +169,18 @@ class RuntimeMonitor:
     # -- internals -------------------------------------------------------------
 
     def _layer_health(self, position: int) -> _LayerHealth:
-        if position not in self._layers:
+        # Lock-free fast path: dict reads are safe, and an entry, once
+        # installed, is never replaced.
+        health = self._layers.get(position)
+        if health is not None:
+            return health
+        with self._lock:
+            health = self._layers.get(position)
+            if health is not None:
+                # Another thread won the first-touch race; its breaker and
+                # gauge registration stand — creating a second breaker here
+                # would split failure counts across two objects.
+                return health
             name = self._layer_name(position)
 
             def publish(old_state: str, new_state: str, layer: str = name) -> None:
@@ -169,7 +193,7 @@ class RuntimeMonitor:
                     BREAKER_STATE_CODES[new_state]
                 )
 
-            self._layers[position] = _LayerHealth(
+            health = _LayerHealth(
                 CircuitBreaker(
                     failure_threshold=self._breaker_threshold,
                     cooldown=self._breaker_cooldown,
@@ -180,7 +204,8 @@ class RuntimeMonitor:
             _breaker_state_gauge().labels(layer=name).set(
                 BREAKER_STATE_CODES[CircuitBreaker.CLOSED]
             )
-        return self._layers[position]
+            self._layers[position] = health
+            return health
 
     def _layer_name(self, position: int) -> str:
         validators = self.validator.validators
@@ -201,12 +226,17 @@ class RuntimeMonitor:
 
     def _finish(self, verdict: ValidationVerdict) -> ValidationVerdict:
         _verdicts_counter().labels(status=verdict.status).inc()
-        if verdict.status == resilience.QUARANTINED:
-            self.stats["quarantined"] += 1
-        else:
-            if verdict.status == resilience.DEGRADED:
-                self.stats["degraded"] += 1
-            self.stats["accepted" if verdict.accepted else "rejected"] += 1
+        with self._lock:
+            # Both increments of a degraded verdict land under one lock
+            # hold, so health() can never observe the tallies mid-update.
+            if verdict.status == resilience.QUARANTINED:
+                self.stats["quarantined"] += 1
+            else:
+                if verdict.status == resilience.DEGRADED:
+                    self.stats["degraded"] += 1
+                self.stats["accepted" if verdict.accepted else "rejected"] += 1
+        # The rejection hook runs outside the lock: a slow or re-entrant
+        # callback must not stall other serving threads' bookkeeping.
         if not verdict.accepted and self.on_reject is not None:
             self.on_reject(verdict)
         return verdict
@@ -256,8 +286,9 @@ class RuntimeMonitor:
             for position in range(n_layers)
             if not self._layer_health(position).breaker.allow()
         }
-        for position in skip:
-            self._layers[position].skipped_batches += 1
+        with self._lock:
+            for position in skip:
+                self._layers[position].skipped_batches += 1
         try:
             predictions, per_layer, errors = (
                 self.validator.engine().discrepancies_resilient(images, skip=skip)
@@ -350,10 +381,12 @@ class RuntimeMonitor:
         ``float("nan")`` (rather than raising) when nothing has been
         scored yet, so dashboards can poll it unconditionally.
         """
-        total = self.stats["accepted"] + self.stats["rejected"]
+        with self._lock:
+            total = self.stats["accepted"] + self.stats["rejected"]
+            rejected = self.stats["rejected"]
         if total == 0:
             return float("nan")
-        return self.stats["rejected"] / total
+        return rejected / total
 
     def health(self) -> dict:
         """Operator snapshot: per-layer breaker states plus verdict tallies.
@@ -366,20 +399,29 @@ class RuntimeMonitor:
         ``metrics`` embeds the current observability registry snapshot
         (``{}`` when ``REPRO_OBS=0``), so one ``health()`` poll carries
         both the monitor's own bookkeeping and the process-wide metrics.
+
+        The snapshot is taken under the monitor's lock, so the verdict
+        tallies and per-layer bookkeeping are mutually consistent even
+        while serving threads are mid-``classify`` — a degraded verdict
+        never shows up in ``degraded`` without its accepted/rejected
+        half, and ``rejection_rate`` always matches ``counts``.
         """
-        layers = {}
-        for position in range(len(self.validator.validators)):
-            health = self._layer_health(position)
-            layers[self._layer_name(position)] = {
-                **health.breaker.snapshot(),
-                "last_error": health.last_error,
-                "skipped_batches": health.skipped_batches,
-            }
-        rate = self.rejection_rate
+        with self._lock:
+            layers = {}
+            for position in range(len(self.validator.validators)):
+                health = self._layer_health(position)
+                layers[self._layer_name(position)] = {
+                    **health.breaker.snapshot(),
+                    "last_error": health.last_error,
+                    "skipped_batches": health.skipped_batches,
+                }
+            counts = dict(self.stats)
+        scored = counts["accepted"] + counts["rejected"]
+        rate = counts["rejected"] / scored if scored else float("nan")
         return {
             "layers": layers,
-            "counts": dict(self.stats),
-            "quarantined": self.stats["quarantined"],
+            "counts": counts,
+            "quarantined": counts["quarantined"],
             "rejection_rate": rate,
             "metrics": obs.get_registry().snapshot() if obs.enabled() else {},
         }

@@ -30,6 +30,7 @@ verdict so operators can see partial failure instead of silence.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -187,6 +188,14 @@ class CircuitBreaker:
     breaker state metrics without this module importing the observability
     layer. Hook exceptions propagate — a broken hook is a bug, not a
     serving condition.
+
+    All state reads and mutations are serialised by an internal re-entrant
+    lock, so a breaker shared across serving threads counts every failure
+    and fires each transition (and its hook) exactly once per state
+    change — concurrent ``record_failure`` calls cannot both observe the
+    pre-open state and double-open the breaker. The hook runs while the
+    lock is held; it must not call back into the same breaker from
+    another thread.
     """
 
     CLOSED = "closed"
@@ -208,6 +217,7 @@ class CircuitBreaker:
         self.cooldown = cooldown
         self.clock = clock
         self.on_transition = on_transition
+        self._lock = threading.RLock()
         self._state = self.CLOSED
         self._opened_at: float | None = None
         self.failures = 0
@@ -221,14 +231,19 @@ class CircuitBreaker:
         if self.on_transition is not None and old_state != new_state:
             self.on_transition(old_state, new_state)
 
-    @property
-    def state(self) -> str:
-        """Current state, transitioning open → half-open once cooled down."""
+    def _current_state(self) -> str:
+        # Caller holds the lock. Lazily transition open -> half-open.
         if self._state == self.OPEN and (
             self.clock() - self._opened_at >= self.cooldown
         ):
             self._transition(self.HALF_OPEN)
         return self._state
+
+    @property
+    def state(self) -> str:
+        """Current state, transitioning open → half-open once cooled down."""
+        with self._lock:
+            return self._current_state()
 
     def allow(self) -> bool:
         """Whether the guarded call should be attempted right now."""
@@ -236,34 +251,41 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """Note a successful call; closes a half-open breaker."""
-        self.successes += 1
-        self.consecutive_failures = 0
-        if self.state == self.HALF_OPEN:
-            self._transition(self.CLOSED)
-            self._opened_at = None
+        with self._lock:
+            self.successes += 1
+            self.consecutive_failures = 0
+            if self._current_state() == self.HALF_OPEN:
+                self._transition(self.CLOSED)
+                self._opened_at = None
 
     def record_failure(self) -> None:
         """Note a failed call; may trip the breaker open."""
-        self.failures += 1
-        self.consecutive_failures += 1
-        state = self.state
-        if state == self.HALF_OPEN or (
-            state == self.CLOSED
-            and self.consecutive_failures >= self.failure_threshold
-        ):
-            self._transition(self.OPEN)
-            self._opened_at = self.clock()
-            self.times_opened += 1
+        with self._lock:
+            self.failures += 1
+            self.consecutive_failures += 1
+            state = self._current_state()
+            if state == self.HALF_OPEN or (
+                state == self.CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(self.OPEN)
+                self._opened_at = self.clock()
+                self.times_opened += 1
 
     def snapshot(self) -> dict:
-        """Operator-facing state summary (used by ``RuntimeMonitor.health``)."""
-        return {
-            "state": self.state,
-            "failures": self.failures,
-            "successes": self.successes,
-            "consecutive_failures": self.consecutive_failures,
-            "times_opened": self.times_opened,
-        }
+        """Operator-facing state summary (used by ``RuntimeMonitor.health``).
+
+        Taken under the breaker's lock, so the fields are mutually
+        consistent even while serving threads record outcomes.
+        """
+        with self._lock:
+            return {
+                "state": self._current_state(),
+                "failures": self.failures,
+                "successes": self.successes,
+                "consecutive_failures": self.consecutive_failures,
+                "times_opened": self.times_opened,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,27 @@
+"""repro.serve — dependency-free concurrent serving for the runtime monitor.
+
+Micro-batched validation-as-a-service: single-image requests are coalesced
+into packed batches (``MicroBatcher``), scored by worker threads through a
+shared thread-safe ``RuntimeMonitor``, and answered via per-request
+``VerdictFuture``\\ s, with explicit backpressure (``OVERLOADED``) and
+queue deadlines (``EXPIRED``). See ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.futures import ResultTimeout, VerdictFuture
+from repro.serve.server import (
+    EXPIRED,
+    OVERLOADED,
+    ServeConfig,
+    ValidationServer,
+)
+
+__all__ = [
+    "EXPIRED",
+    "OVERLOADED",
+    "MicroBatcher",
+    "ResultTimeout",
+    "ServeConfig",
+    "ValidationServer",
+    "VerdictFuture",
+]

@@ -1,0 +1,338 @@
+"""The concurrent validation server: futures in, micro-batched verdicts out.
+
+:class:`ValidationServer` is the validation-as-a-service deployment of the
+paper's guarded classifier: producers :meth:`~ValidationServer.submit`
+single images and get :class:`~repro.serve.futures.VerdictFuture`\\ s;
+worker threads pull coalesced batches from a
+:class:`~repro.serve.batcher.MicroBatcher` and drive one shared
+(thread-safe) :class:`~repro.core.monitor.RuntimeMonitor`, so a burst of
+N single-image requests costs a handful of packed forward passes instead
+of N.
+
+Three structured, non-exceptional outcomes extend the monitor's verdict
+vocabulary at the queueing layer:
+
+* ``OVERLOADED`` — the bounded queue was full at submit time; the request
+  was never enqueued (explicit backpressure, not an unbounded pile-up);
+* ``EXPIRED`` — the request's deadline elapsed while it waited in the
+  queue; it is resolved unscored when a worker dequeues it;
+* requests whose array is not a single ``(C, H, W)`` image are
+  ``QUARANTINED`` at the door (the per-request contract is one image —
+  shape triage happens before batching so one malformed request can
+  never corrupt a coalesced batch).
+
+Determinism: workers score each batch through ``monitor.classify`` on the
+stacked request images (grouped by shape + dtype, in arrival order), so a
+request's verdict is bit-identical to calling the monitor directly with
+the same batch. Numerical note: float32 BLAS kernels differ across batch
+*sizes* (~1e-7 in joint discrepancy between a 64-wide batch and 64
+singleton calls), so results are exactly reproducible for a given batch
+partition, and agree to tight tolerance across partitions — see
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.core import resilience
+from repro.core.monitor import RuntimeMonitor, ValidationVerdict
+from repro.serve.batcher import MicroBatcher
+from repro.serve.futures import VerdictFuture
+
+#: Queue-level verdict statuses (extending :data:`repro.core.resilience.STATUSES`).
+OVERLOADED = "OVERLOADED"
+EXPIRED = "EXPIRED"
+
+
+def _requests_counter():
+    return obs.counter(
+        "serve_requests_total",
+        help="Serve requests by final outcome",
+        labels=("outcome",),
+    )
+
+
+def _batch_size_histogram():
+    return obs.histogram(
+        "serve_batch_size",
+        help="Scored micro-batch widths",
+        bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+    )
+
+
+def _wait_seconds_histogram():
+    return obs.histogram(
+        "serve_wait_seconds",
+        help="Queue wait per request (enqueue to batch dispatch)",
+    )
+
+
+@dataclass
+class _Ticket:
+    """One queued request: its image, its future, and its timing."""
+
+    image: np.ndarray
+    future: VerdictFuture
+    enqueued_at: float
+    deadline: float | None
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for :class:`ValidationServer`.
+
+    ``max_batch`` bounds batch width (throughput knob), ``max_wait_ms``
+    bounds how long a partial batch lingers for more arrivals (latency
+    knob), ``queue_depth`` bounds queued requests before backpressure,
+    ``workers`` is the scoring thread count, and ``default_timeout_ms``
+    (optional) gives every request a queue deadline unless ``submit``
+    overrides it.
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_depth: int = 256
+    workers: int = 1
+    default_timeout_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.default_timeout_ms is not None and self.default_timeout_ms < 0:
+            raise ValueError(
+                f"default_timeout_ms must be >= 0, got {self.default_timeout_ms}"
+            )
+
+
+class ValidationServer:
+    """Micro-batching front-end over one thread-safe :class:`RuntimeMonitor`.
+
+    Usable as a context manager (``with ValidationServer(monitor) as srv``)
+    — workers start on entry and are drained and joined on exit. The
+    monitor's ``stats``/``health()`` keep counting exactly as under serial
+    use; the server adds its own queue-level tallies via :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        monitor: RuntimeMonitor,
+        config: ServeConfig | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.config = config if config is not None else ServeConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        self.batcher = MicroBatcher(
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            queue_depth=self.config.queue_depth,
+            clock=self._clock,
+        )
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._counts = {
+            "submitted": 0,
+            "completed": 0,
+            "overloaded": 0,
+            "expired": 0,
+            "quarantined_at_submit": 0,
+            "batches": 0,
+            "worker_errors": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ValidationServer":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server already closed")
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.config.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-serve-worker-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def close(self, timeout: float | None = None) -> None:
+        """Stop accepting requests, drain the queue, join the workers.
+
+        Queued requests are still scored (the batcher drains before
+        workers exit). ``timeout`` bounds the per-thread join — a wedged
+        worker (e.g. a deadlocked scorer under fault injection) then
+        leaves its futures unresolved rather than hanging ``close``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.batcher.close()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "ValidationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request side ----------------------------------------------------------
+
+    def submit(
+        self, image: np.ndarray, timeout_ms: float | None = None
+    ) -> VerdictFuture:
+        """Enqueue one image; returns its future immediately.
+
+        ``timeout_ms`` (defaulting to ``config.default_timeout_ms``) is a
+        queue deadline on the server clock: a request still waiting when
+        it expires is resolved ``EXPIRED`` instead of scored. Rejections
+        (bad shape, full queue) resolve the returned future immediately
+        with a structured verdict — ``submit`` itself never raises on bad
+        input, matching the monitor's fail-safe contract.
+        """
+        future = VerdictFuture()
+        try:
+            array = np.asarray(image)
+        except Exception as exc:  # noqa: BLE001 — fail-safe, mirror InputGuard
+            self._resolve_rejection(
+                future,
+                resilience.QUARANTINED,
+                f"input not convertible to an array: {exc}",
+                "quarantined_at_submit",
+            )
+            return future
+        if array.ndim == 4 and array.shape[0] == 1:
+            array = array[0]
+        if array.ndim != 3:
+            self._resolve_rejection(
+                future,
+                resilience.QUARANTINED,
+                f"serve requests must be single (C, H, W) images, got shape "
+                f"{array.shape}",
+                "quarantined_at_submit",
+            )
+            return future
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed server")
+            self._counts["submitted"] += 1
+        if timeout_ms is None:
+            timeout_ms = self.config.default_timeout_ms
+        now = self._clock()
+        ticket = _Ticket(
+            image=array,
+            future=future,
+            enqueued_at=now,
+            deadline=None if timeout_ms is None else now + timeout_ms / 1000.0,
+        )
+        if not self.batcher.offer(ticket):
+            self._resolve_rejection(
+                future, OVERLOADED, "request queue full", "overloaded"
+            )
+        return future
+
+    def classify(self, image: np.ndarray, timeout: float | None = None):
+        """Submit one image and block for its verdict (convenience)."""
+        return self.submit(image).result(timeout)
+
+    # -- worker side -----------------------------------------------------------
+
+    def _rejection_verdict(self, status: str, reason: str) -> ValidationVerdict:
+        n_layers = max(len(self.monitor.validator.validators), 1)
+        return ValidationVerdict(
+            prediction=-1,
+            joint_discrepancy=float("nan"),
+            per_layer=np.full(n_layers, np.nan),
+            accepted=False,
+            status=status,
+            reason=reason,
+        )
+
+    def _resolve_rejection(
+        self, future: VerdictFuture, status: str, reason: str, count_key: str
+    ) -> None:
+        with self._lock:
+            self._counts[count_key] += 1
+        _requests_counter().labels(outcome=count_key).inc()
+        future._resolve(self._rejection_verdict(status, reason))
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            try:
+                self._process(batch)
+            except Exception as exc:  # noqa: BLE001 — a worker must outlive a batch
+                with self._lock:
+                    self._counts["worker_errors"] += 1
+                for ticket in batch:
+                    if not ticket.future.done():
+                        ticket.future._fail(exc)
+
+    def _process(self, batch: list[_Ticket]) -> None:
+        now = self._clock()
+        live: list[_Ticket] = []
+        for ticket in batch:
+            _wait_seconds_histogram().observe(max(0.0, now - ticket.enqueued_at))
+            if ticket.deadline is not None and now > ticket.deadline:
+                self._resolve_rejection(
+                    ticket.future,
+                    EXPIRED,
+                    "queue deadline elapsed before scoring",
+                    "expired",
+                )
+            else:
+                live.append(ticket)
+        if not live:
+            return
+        with self._lock:
+            self._counts["batches"] += 1
+        # Group by per-image shape and dtype so np.stack never promotes a
+        # request's dtype (which would perturb its scores relative to a
+        # direct monitor call). Groups preserve arrival order.
+        groups: dict[tuple, list[_Ticket]] = {}
+        for ticket in live:
+            groups.setdefault(
+                (ticket.image.shape, ticket.image.dtype.str), []
+            ).append(ticket)
+        for tickets in groups.values():
+            images = np.stack([ticket.image for ticket in tickets])
+            with obs.span("serve.batch", size=len(tickets)):
+                _batch_size_histogram().observe(float(len(tickets)))
+                verdicts = self.monitor.classify(images)
+            for ticket, verdict in zip(tickets, verdicts):
+                with self._lock:
+                    self._counts["completed"] += 1
+                _requests_counter().labels(outcome="completed").inc()
+                ticket.future._resolve(verdict)
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Queue-level tallies plus the current queue depth (atomic copy)."""
+        with self._lock:
+            counts = dict(self._counts)
+        counts["queue_depth"] = len(self.batcher)
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"ValidationServer(workers={self.config.workers}, "
+            f"max_batch={self.config.max_batch}, stats={self.stats()})"
+        )

@@ -16,8 +16,11 @@ from repro.testing.faults import (
     crash_at_task,
     dead_fit_pool,
     fail_packed_scorer,
+    hang_classify,
     hang_fit_worker,
     nan_activations,
+    slow_classify,
+    slow_layer,
 )
 
 __all__ = [
@@ -28,6 +31,9 @@ __all__ = [
     "crash_at_task",
     "dead_fit_pool",
     "fail_packed_scorer",
+    "hang_classify",
     "hang_fit_worker",
     "nan_activations",
+    "slow_classify",
+    "slow_layer",
 ]

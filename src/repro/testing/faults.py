@@ -20,6 +20,10 @@ The four fault classes mirror the resilience layer's threat model:
 * :func:`slow_layer` — a scorer that gets slow: one layer validator's
   batched scorer gains a fixed per-call latency, advanced against a
   fake clock (or slept, with a real one) so latency metrics are testable;
+* :func:`slow_classify` / :func:`hang_classify` — serving faults: a
+  monitor whose ``classify`` gains fixed latency, or wedges entirely
+  until released (a deadlocked serve worker), for backpressure and
+  drain-timeout tests;
 * :func:`dead_fit_pool` — worker death: the fitting pipeline's
   multiprocessing pool dies on dispatch, exercising the in-process
   fallback;
@@ -239,6 +243,97 @@ def slow_layer(layer_validator, seconds: float, clock=None) -> Iterator[dict]:
             layer_validator.discrepancy_batched = original
         else:
             del layer_validator.discrepancy_batched
+
+
+# -- serving faults ------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def slow_classify(monitor, seconds: float, clock=None) -> Iterator[dict]:
+    """Make a monitor's ``classify`` take ``seconds`` per call.
+
+    The serving-layer counterpart of :func:`slow_layer`: every
+    ``classify`` call on the patched monitor instance gains a fixed
+    latency, so queue-wait and batch-span metrics under a slow scorer are
+    testable. Fake-clock compatible exactly like :func:`slow_layer`
+    (a clock with ``advance`` is advanced, otherwise the injector
+    sleeps; defaults to the current tracer's clock). Yields a stats dict
+    whose ``"calls"`` entry counts afflicted invocations.
+    """
+    if seconds < 0:
+        raise ValueError(f"cannot make classify {seconds}s slower")
+    had_instance_attr = "classify" in monitor.__dict__
+    original = monitor.classify
+    stats = {"calls": 0}
+
+    def delay() -> None:
+        source = clock
+        if source is None:
+            from repro import obs
+
+            source = obs.get_tracer().clock
+        if hasattr(source, "advance"):
+            source.advance(seconds)
+        else:
+            import time
+
+            time.sleep(seconds)
+
+    def sluggish(images):
+        stats["calls"] += 1
+        delay()
+        return original(images)
+
+    monitor.classify = sluggish
+    try:
+        yield stats
+    finally:
+        if had_instance_attr:
+            monitor.classify = original
+        else:
+            del monitor.classify
+
+
+@contextlib.contextmanager
+def hang_classify(monitor, nth: int = 1, count: int = 1) -> Iterator[dict]:
+    """Make chosen ``classify`` calls block until released.
+
+    Calls ``nth .. nth+count-1`` (1-based) of the patched monitor's
+    ``classify`` block on an event before scoring — a deadlocked or wedged
+    serve worker. The event is set on context exit (so nothing outlives
+    the injection), and tests can release it earlier via the yielded
+    stats dict's ``"release"`` :class:`threading.Event` to model recovery.
+    A negative ``count`` hangs every call from ``nth`` on. The yielded
+    dict also tracks ``"calls"`` and ``"hangs"``.
+    """
+    import threading
+
+    had_instance_attr = "classify" in monitor.__dict__
+    original = monitor.classify
+    release = threading.Event()
+    stats = {"calls": 0, "hangs": 0, "release": release}
+    tally = threading.Lock()
+
+    def wedged(images):
+        with tally:
+            stats["calls"] += 1
+            call = stats["calls"]
+            hang = call >= nth and (count < 0 or call < nth + count)
+            if hang:
+                stats["hangs"] += 1
+        if hang:
+            release.wait()
+        return original(images)
+
+    monitor.classify = wedged
+    try:
+        yield stats
+    finally:
+        release.set()
+        if had_instance_attr:
+            monitor.classify = original
+        else:
+            del monitor.classify
 
 
 # -- worker-pool faults --------------------------------------------------------
@@ -516,6 +611,20 @@ class FaultPlan:
             lambda: slow_layer(layer_validator, seconds, clock=clock)
         )
         self._labels.append(f"slow_layer(seconds={seconds})")
+        return self
+
+    def slow_classify(self, monitor, seconds: float, clock=None) -> "FaultPlan":
+        """Register per-call latency on a monitor's ``classify``."""
+        self._factories.append(
+            lambda: slow_classify(monitor, seconds, clock=clock)
+        )
+        self._labels.append(f"slow_classify(seconds={seconds})")
+        return self
+
+    def hang_classify(self, monitor, nth: int = 1, count: int = 1) -> "FaultPlan":
+        """Register hanging ``classify`` calls ``nth..nth+count-1``."""
+        self._factories.append(lambda: hang_classify(monitor, nth=nth, count=count))
+        self._labels.append(f"hang_classify(nth={nth}, count={count})")
         return self
 
     def dead_fit_pool(self) -> "FaultPlan":

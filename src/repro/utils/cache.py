@@ -30,9 +30,31 @@ import json
 import numpy as np
 
 
+def _encode_opaque(value: Any) -> dict:
+    """JSON stand-in for a non-serialisable config value: type + repr.
+
+    ``json.dumps(default=str)`` used to collapse distinct non-JSON values
+    whose ``str()`` coincide (e.g. ``Decimal("1")`` and the string
+    ``"1"``, or two enum members from different enums with the same
+    member name) into the same artifact key — silent cache aliasing.
+    Encoding the fully-qualified type alongside ``repr`` keeps the key
+    stable across runs while separating values that merely print alike.
+    """
+    kind = type(value)
+    return {
+        "__opaque__": f"{kind.__module__}.{kind.__qualname__}",
+        "__repr__": repr(value),
+    }
+
+
 def _stable_hash(config: Any) -> str:
-    """Hash an arbitrary JSON-serialisable config into a short hex key."""
-    payload = json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+    """Hash an arbitrary JSON-serialisable config into a short hex key.
+
+    Values JSON cannot serialise are encoded as type + repr (see
+    :func:`_encode_opaque`); pure-JSON configs hash exactly as before, so
+    existing on-disk artifact keys stay valid.
+    """
+    payload = json.dumps(config, sort_keys=True, default=_encode_opaque).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
@@ -231,6 +253,17 @@ class ArtifactCache:
         return removed
 
 
+class _InFlight:
+    """Single-flight rendezvous for one key's in-progress compute."""
+
+    __slots__ = ("event", "value", "success")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.success = False
+
+
 class LRUCache:
     """A bounded in-memory cache with least-recently-used eviction.
 
@@ -241,10 +274,14 @@ class LRUCache:
 
     All bookkeeping is guarded by a lock, so validation engines shared
     across scoring threads never corrupt the recency ordering or the
-    counters. ``get_or_compute`` runs ``compute`` outside the lock —
-    concurrent misses on the same key may compute twice (both arrive at
-    the same value), but a slow compute never blocks unrelated lookups and
-    a compute that re-enters the cache cannot deadlock.
+    counters. ``get_or_compute`` runs ``compute`` outside the lock and is
+    **single-flight**: of N threads that miss the same key concurrently,
+    exactly one (the leader) runs ``compute`` — counted as the one miss —
+    while the rest block on the leader's result and count as hits, so
+    ``hits + misses`` always equals the number of requests and the
+    expensive compute runs once. A slow compute never blocks lookups of
+    other keys. ``compute`` must not re-enter the cache on the *same*
+    key (it would rendezvous with itself); other keys are fine.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
@@ -253,6 +290,7 @@ class LRUCache:
         self.maxsize = maxsize
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.RLock()
+        self._flights: dict[Hashable, _InFlight] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -269,11 +307,13 @@ class LRUCache:
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state.pop("_lock", None)  # locks don't pickle; restore a fresh one
+        state.pop("_flights", None)  # in-flight computes are process-local
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.RLock()
+        self._flights = {}
 
     def _lookup(self, key: Hashable) -> tuple[bool, Any]:
         """One locked probe: ``(hit, value)`` with counters updated."""
@@ -300,14 +340,59 @@ class LRUCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing and storing on miss."""
-        hit, value = self._lookup(key)
-        if hit:
+    def get_or_compute(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        cache_if: Callable[[Any], bool] | None = None,
+    ) -> Any:
+        """Return the cached value for ``key``, computing once on miss.
+
+        Single-flight: concurrent misses on the same key elect one leader
+        to run ``compute``; the others wait and adopt its result (counted
+        as hits, so ``hits + misses`` tracks requests exactly). If the
+        leader's ``compute`` raises, the exception propagates to the
+        leader and the waiters retry — one of them becomes the new
+        leader. ``cache_if`` (optional) vetoes storing the computed value
+        in the cache; the value is still returned — and still shared with
+        concurrent waiters — it just isn't memoised for later calls.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return self._entries[key]
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._flights[key] = flight
+                    self.misses += 1
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.event.wait()
+                if flight.success:
+                    with self._lock:
+                        self.hits += 1
+                    return flight.value
+                continue  # the leader failed; race to become the next one
+            try:
+                value = compute()
+            except BaseException:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.event.set()
+                raise
+            if cache_if is None or cache_if(value):
+                self.put(key, value)
+            flight.value = value
+            flight.success = True
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
             return value
-        value = compute()
-        self.put(key, value)
-        return value
 
     def keys(self) -> list[Hashable]:
         """Keys from least to most recently used."""

@@ -86,6 +86,54 @@ class TestEngineBenchRecord:
         assert "svm_packed_gemm_seconds" in metrics["stage_seconds"]
 
 
+class TestServeBenchRecord:
+    def test_top_level_schema(self):
+        record = _load("BENCH_serve.json")
+        assert set(record) == {
+            "benchmark",
+            "stream",
+            "max_batch",
+            "workers",
+            "serving",
+            "metrics",
+        }
+        assert record["benchmark"] == "serve-micro-batching"
+        for key in ("stream", "max_batch", "workers"):
+            assert isinstance(record[key], int)
+
+    def test_measurement_section(self):
+        serving = _load("BENCH_serve.json")["serving"]
+        assert set(serving) == {
+            "validated_layers",
+            "per_request_images_per_sec",
+            "served_images_per_sec",
+            "speedup",
+        }
+        assert serving["speedup"] > 0
+
+    def test_metrics_summary(self):
+        record = _load("BENCH_serve.json")
+        metrics = record["metrics"]
+        assert set(metrics) == {"requests", "batch_size", "queue_wait_seconds"}
+        # Every timed request stream completed (no overload/expiry during
+        # a benchmark run would be a measurement bug, not a perf fact).
+        assert metrics["requests"].get("completed", 0) > 0
+        assert set(metrics["requests"]) <= {
+            "completed",
+            "overloaded",
+            "expired",
+            "quarantined_at_submit",
+        }
+        for key in ("batch_size", "queue_wait_seconds"):
+            section = metrics[key]
+            assert set(section) == {"count", "total", "mean"}
+            assert section["count"] > 0
+            assert section["total"] >= 0
+        # Coalescing actually happened: mean scored batch is wider than
+        # one request.
+        assert metrics["batch_size"]["mean"] > 1.0
+
+
 class TestFitBenchRecord:
     def test_top_level_schema(self):
         record = _load("BENCH_fit.json")

@@ -59,4 +59,5 @@ def test_every_registered_marker_is_used():
 def test_expected_tier2_markers_exist():
     # The documented tier-2 entry points; removing one is a breaking
     # change to the CI contract, not a cleanup.
-    assert {"slow", "bench", "faults", "checkpoint", "obs"} <= _registered_markers()
+    expected = {"slow", "bench", "faults", "checkpoint", "obs", "serve"}
+    assert expected <= _registered_markers()

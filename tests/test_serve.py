@@ -1,0 +1,457 @@
+"""Tests for the micro-batching validation server (repro.serve).
+
+The differential class is the load-bearing one: serve verdicts must be
+bit-identical to calling the thread-safe monitor directly with the same
+batch partition (serve is pure transport — queueing and batching add
+zero numeric change), and agree to tight tolerance across partitions
+(float32 BLAS kernels differ by batch width; see docs/serving.md).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
+from repro.core import resilience
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import InMemorySpanExporter, ManualClock, Tracer
+from repro.serve import (
+    EXPIRED,
+    OVERLOADED,
+    MicroBatcher,
+    ResultTimeout,
+    ServeConfig,
+    ValidationServer,
+    VerdictFuture,
+)
+from repro.testing.faults import hang_classify, slow_classify
+from tests.helpers import easy_image_task, train_tiny_model
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def trained_tiny_model():
+    return train_tiny_model()
+
+
+@pytest.fixture(scope="module")
+def fitted_validator(trained_tiny_model):
+    model, train_x, train_y, test_x, _ = trained_tiny_model
+    validator = DeepValidator(model, ValidatorConfig(nu=0.15))
+    validator.fit(train_x, train_y)
+    noise = np.random.default_rng(0).random((40, 1, 12, 12))
+    validator.calibrate_threshold(test_x[:40], noise)
+    return validator
+
+
+@pytest.fixture()
+def stream():
+    images, _ = easy_image_task(16, seed=99)
+    return images
+
+
+def _assert_same_verdict(reference, candidate):
+    """Bit-exact verdict equality (NaN-tolerant on the score fields)."""
+    assert candidate.prediction == reference.prediction
+    assert candidate.status == reference.status
+    assert candidate.accepted == reference.accepted
+    assert candidate.skipped_layers == reference.skipped_layers
+    np.testing.assert_array_equal(candidate.per_layer, reference.per_layer)
+    if np.isnan(reference.joint_discrepancy):
+        assert np.isnan(candidate.joint_discrepancy)
+    else:
+        assert candidate.joint_discrepancy == reference.joint_discrepancy
+
+
+class TestVerdictFuture:
+    def test_resolve_and_result(self):
+        future = VerdictFuture()
+        assert not future.done()
+        future._resolve("verdict")
+        assert future.done()
+        assert future.result(timeout=0) == "verdict"
+
+    def test_fail_reraises(self):
+        future = VerdictFuture()
+        future._fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            future.result(timeout=0)
+
+    def test_write_once(self):
+        future = VerdictFuture()
+        future._resolve("verdict")
+        with pytest.raises(RuntimeError):
+            future._resolve("again")
+        with pytest.raises(RuntimeError):
+            future._fail(ValueError())
+
+    def test_timeout_then_late_resolve(self):
+        future = VerdictFuture()
+        with pytest.raises(ResultTimeout):
+            future.result(timeout=0.01)
+        future._resolve("late")
+        assert future.result(timeout=0) == "late"
+
+
+class TestMicroBatcher:
+    def test_flush_on_max_batch(self):
+        batcher = MicroBatcher(max_batch=3, max_wait_ms=10_000.0)
+        for item in range(5):
+            assert batcher.offer(item)
+        assert batcher.next_batch() == [0, 1, 2]
+
+    def test_zero_wait_flushes_partial(self):
+        batcher = MicroBatcher(max_batch=8, max_wait_ms=0.0)
+        batcher.offer("a")
+        batcher.offer("b")
+        assert batcher.next_batch() == ["a", "b"]
+
+    def test_flush_on_wait_window(self):
+        batcher = MicroBatcher(max_batch=64, max_wait_ms=20.0)
+        batcher.offer(1)
+        start = time.monotonic()
+        batch = batcher.next_batch()
+        assert batch == [1]
+        # Flushed by the window (well before any 64-wide batch could form).
+        assert time.monotonic() - start < 5.0
+
+    def test_backpressure(self):
+        batcher = MicroBatcher(queue_depth=2)
+        assert batcher.offer(1)
+        assert batcher.offer(2)
+        assert not batcher.offer(3)
+        assert len(batcher) == 2
+
+    def test_close_drains_then_none(self):
+        batcher = MicroBatcher(max_batch=2, max_wait_ms=10_000.0)
+        batcher.offer(1)
+        batcher.offer(2)
+        batcher.offer(3)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.offer(4)
+        assert batcher.next_batch() == [1, 2]
+        assert batcher.next_batch() == [3]
+        assert batcher.next_batch() is None
+
+    def test_close_wakes_blocked_consumer(self):
+        batcher = MicroBatcher()
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(batcher.next_batch()))
+        thread.start()
+        batcher.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert seen == [None]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_batch": 0}, {"max_wait_ms": -1.0}, {"queue_depth": 0}],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatcher(**kwargs)
+
+
+class TestServeRejections:
+    def test_overloaded_is_structured(self, fitted_validator, stream):
+        # No worker started: the queue fills and stays full.
+        server = ValidationServer(
+            RuntimeMonitor(fitted_validator), ServeConfig(queue_depth=2)
+        )
+        futures = [server.submit(stream[i]) for i in range(3)]
+        assert not futures[0].done() and not futures[1].done()
+        verdict = futures[2].result(timeout=0)
+        assert verdict.status == OVERLOADED
+        assert not verdict.accepted
+        assert verdict.prediction == -1
+        assert np.isnan(verdict.joint_discrepancy)
+        assert server.stats()["overloaded"] == 1
+
+    def test_bad_shape_quarantined_at_submit(self, fitted_validator):
+        server = ValidationServer(RuntimeMonitor(fitted_validator))
+        verdict = server.submit(np.zeros((5, 5))).result(timeout=0)
+        assert verdict.status == resilience.QUARANTINED
+        assert "single (C, H, W)" in verdict.reason
+        assert server.stats()["quarantined_at_submit"] == 1
+        # A 4-D singleton batch is accepted as "one image".
+        future = server.submit(np.zeros((1, 1, 12, 12)))
+        assert not future.done()  # queued, not rejected
+
+    def test_expired_on_queue_deadline(self, fitted_validator, stream):
+        clock = ManualClock()
+        server = ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(max_batch=4, max_wait_ms=0.0, default_timeout_ms=10.0),
+            clock=clock,
+        )
+        future = server.submit(stream[0])
+        clock.advance(1.0)  # deadline long gone before any worker runs
+        server.start()
+        verdict = future.result(timeout=30.0)
+        assert verdict.status == EXPIRED
+        assert not verdict.accepted
+        server.close()
+        assert server.stats()["expired"] == 1
+        assert server.stats()["completed"] == 0
+
+    def test_submit_after_close_raises(self, fitted_validator, stream):
+        server = ValidationServer(RuntimeMonitor(fitted_validator))
+        server.start()
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.submit(stream[0])
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_close_is_idempotent_and_drains(self, fitted_validator, stream):
+        with ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(max_batch=4, max_wait_ms=10_000.0),
+        ) as server:
+            futures = [server.submit(stream[i]) for i in range(3)]
+        server.close()  # second close: no-op
+        # Context exit drained the partial batch before joining workers.
+        for future in futures:
+            assert future.done()
+            assert future.result(timeout=0).status in (
+                resilience.VALIDATED,
+                resilience.FLAGGED,
+            )
+
+
+class TestServeDifferential:
+    """Serve must add zero numeric change over the monitor itself."""
+
+    def test_bit_identical_to_monitor_same_batch(self, fitted_validator, stream):
+        monitor = RuntimeMonitor(fitted_validator)
+        fitted_validator.engine().cache.clear()
+        reference = monitor.classify(stream)
+
+        # Recompute from scratch through the server: same 16-image batch
+        # (all submitted before the worker starts, absorbed as one batch).
+        fitted_validator.engine().cache.clear()
+        server = ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(max_batch=len(stream), max_wait_ms=10_000.0),
+        )
+        futures = [server.submit(image) for image in stream]
+        server.start()
+        results = [future.result(timeout=60.0) for future in futures]
+        server.close()
+
+        assert server.stats()["batches"] == 1
+        for ref, got in zip(reference, results):
+            _assert_same_verdict(ref, got)
+
+    def test_max_batch_one_matches_serial_loop(self, fitted_validator, stream):
+        images = stream[:6]
+        monitor = RuntimeMonitor(fitted_validator)
+        fitted_validator.engine().cache.clear()
+        reference = [monitor.classify(images[i : i + 1])[0] for i in range(len(images))]
+
+        fitted_validator.engine().cache.clear()
+        with ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(max_batch=1, max_wait_ms=0.0),
+        ) as server:
+            results = [server.classify(image, timeout=60.0) for image in images]
+
+        for ref, got in zip(reference, results):
+            _assert_same_verdict(ref, got)
+
+    def test_cross_partition_agreement(self, fitted_validator, stream):
+        # Different batch partitions are NOT bit-identical in float32
+        # (BLAS picks different kernels by batch width) but must agree to
+        # tight tolerance and produce identical accept/flag decisions.
+        monitor = RuntimeMonitor(fitted_validator)
+        fitted_validator.engine().cache.clear()
+        per_image = [monitor.classify(stream[i : i + 1])[0] for i in range(len(stream))]
+        fitted_validator.engine().cache.clear()
+        full_batch = monitor.classify(stream)
+        for one, many in zip(per_image, full_batch):
+            assert one.prediction == many.prediction
+            assert one.status == many.status
+            assert one.accepted == many.accepted
+            np.testing.assert_allclose(
+                one.joint_discrepancy, many.joint_discrepancy, atol=1e-5, rtol=1e-5
+            )
+
+    def test_mixed_dtype_requests_keep_their_verdicts(self, fitted_validator, stream):
+        # float32 and float64 requests in one batch window: grouping by
+        # dtype means neither is promoted, so each matches its own
+        # direct-monitor verdict exactly.
+        monitor = RuntimeMonitor(fitted_validator)
+        as32 = stream[:2].astype(np.float32)
+        as64 = stream[2:4].astype(np.float64)
+        fitted_validator.engine().cache.clear()
+        ref32 = monitor.classify(as32)
+        ref64 = monitor.classify(as64)
+
+        fitted_validator.engine().cache.clear()
+        server = ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(max_batch=4, max_wait_ms=10_000.0),
+        )
+        futures = [server.submit(image) for image in (*as32, *as64)]
+        server.start()
+        results = [future.result(timeout=60.0) for future in futures]
+        server.close()
+
+        for ref, got in zip((*ref32, *ref64), results):
+            _assert_same_verdict(ref, got)
+
+
+class TestServeConcurrency:
+    def test_concurrent_producers_all_served(self, fitted_validator):
+        images, _ = easy_image_task(48, seed=3)
+        monitor = RuntimeMonitor(fitted_validator)
+        results: dict[int, object] = {}
+        lock = threading.Lock()
+
+        with ValidationServer(
+            monitor, ServeConfig(max_batch=8, max_wait_ms=5.0, workers=2)
+        ) as server:
+
+            def produce(start: int) -> None:
+                for i in range(start, start + 12):
+                    verdict = server.classify(images[i], timeout=120.0)
+                    with lock:
+                        results[i] = verdict
+
+            threads = [
+                threading.Thread(target=produce, args=(s,)) for s in (0, 12, 24, 36)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+                assert not thread.is_alive()
+
+        assert len(results) == 48
+        stats = server.stats()
+        assert stats["submitted"] == 48
+        assert stats["completed"] == 48
+        assert stats["overloaded"] == stats["expired"] == 0
+        # Monitor-side conservation: every request became exactly one verdict.
+        counts = monitor.health()["counts"]
+        assert counts["accepted"] + counts["rejected"] + counts["quarantined"] == 48
+
+    def test_worker_survives_scorer_exception(self, fitted_validator, stream):
+        monitor = RuntimeMonitor(fitted_validator)
+        original = monitor.classify
+        calls = {"n": 0}
+
+        def explosive(images):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected classify explosion")
+            return original(images)
+
+        monitor.classify = explosive
+        try:
+            with ValidationServer(
+                monitor, ServeConfig(max_batch=1, max_wait_ms=0.0)
+            ) as server:
+                first = server.submit(stream[0])
+                with pytest.raises(RuntimeError, match="injected classify explosion"):
+                    first.result(timeout=60.0)
+                # Same worker thread keeps serving after the failed batch.
+                second = server.classify(stream[1], timeout=60.0)
+                assert second.status in (resilience.VALIDATED, resilience.FLAGGED)
+        finally:
+            del monitor.classify
+        assert server.stats()["worker_errors"] == 1
+
+
+class TestServeUnderFaults:
+    def test_hung_worker_triggers_backpressure(self, fitted_validator, stream):
+        monitor = RuntimeMonitor(fitted_validator)
+        with hang_classify(monitor, nth=1, count=1) as fault:
+            server = ValidationServer(
+                monitor,
+                ServeConfig(max_batch=1, max_wait_ms=0.0, queue_depth=2),
+            )
+            server.start()
+            wedged = server.submit(stream[0])
+            deadline = time.monotonic() + 30.0
+            while fault["hangs"] == 0:  # worker has dequeued and wedged
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            queued = [server.submit(stream[i]) for i in (1, 2)]
+            rejected = server.submit(stream[3]).result(timeout=0)
+            assert rejected.status == OVERLOADED
+            fault["release"].set()  # the wedge clears; everything drains
+            assert wedged.result(timeout=60.0).status in (
+                resilience.VALIDATED,
+                resilience.FLAGGED,
+            )
+            for future in queued:
+                future.result(timeout=60.0)
+            server.close()
+        assert server.stats()["overloaded"] == 1
+        assert server.stats()["completed"] == 3
+
+    def test_close_timeout_abandons_wedged_worker(self, fitted_validator, stream):
+        monitor = RuntimeMonitor(fitted_validator)
+        with hang_classify(monitor, nth=1, count=1) as fault:
+            server = ValidationServer(
+                monitor, ServeConfig(max_batch=1, max_wait_ms=0.0)
+            )
+            server.start()
+            wedged = server.submit(stream[0])
+            deadline = time.monotonic() + 30.0
+            while fault["hangs"] == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            start = time.monotonic()
+            server.close(timeout=0.05)  # returns without the worker
+            assert time.monotonic() - start < 10.0
+            assert not wedged.done()
+        # Injector exit released the hang; the worker drains and resolves.
+        assert wedged.result(timeout=60.0) is not None
+
+    def test_slow_classify_advances_injected_clock(self, fitted_validator, stream):
+        monitor = RuntimeMonitor(fitted_validator)
+        clock = ManualClock()
+        with slow_classify(monitor, 5.0, clock=clock) as stats:
+            monitor.classify(stream[:2])
+        assert stats["calls"] == 1
+        assert clock() == 5.0
+
+
+class TestServeObservability:
+    def test_metrics_and_spans_emitted(self, fitted_validator, stream):
+        registry = MetricsRegistry()
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(clock=ManualClock(), exporter=exporter)
+        with obs.use(registry=registry, tracer=tracer, enabled=True):
+            server = ValidationServer(
+                RuntimeMonitor(fitted_validator),
+                ServeConfig(max_batch=8, max_wait_ms=10_000.0, queue_depth=4),
+            )
+            futures = [server.submit(image) for image in stream[:4]]
+            overload = server.submit(stream[4])  # queue_depth=4: rejected
+            server.start()
+            for future in futures:
+                future.result(timeout=60.0)
+            server.close()
+
+            completed = obs.counter(
+                "serve_requests_total", labels=("outcome",)
+            ).labels(outcome="completed")
+            overloaded = obs.counter(
+                "serve_requests_total", labels=("outcome",)
+            ).labels(outcome="overloaded")
+            assert completed.value == 4
+            assert overloaded.value == 1
+            assert overload.result(timeout=0).status == OVERLOADED
+            depth = obs.gauge("serve_queue_depth")
+            assert depth.value == 0  # drained
+        batch_spans = [s for s in exporter.spans if s.name == "serve.batch"]
+        assert len(batch_spans) == 1
+        assert batch_spans[0].attributes["size"] == 4

@@ -1,0 +1,293 @@
+"""Thread-safety stress tests for the shared serving substrate.
+
+These pin the headline bugfixes behind ``repro.serve``: the monitor's
+verdict tallies and breaker registry are lock-guarded (no lost counts,
+no double-registered breakers), breaker transitions fire exactly once
+under concurrent failures, ``health()`` snapshots are atomic, and the
+engine's LRU cache single-flights identical concurrent batches (the
+hit+miss accounting stays exact — no stampede, no phantom misses).
+
+Thread counts are hypothesis-driven (under the repo's deterministic
+profile) so the interleavings vary across seeds without flaky timing
+assumptions: every assertion is about *conservation*, not ordering.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.cache import LRUCache
+from repro.testing.faults import fail_packed_scorer
+from tests.helpers import easy_image_task, train_tiny_model
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def trained_tiny_model():
+    return train_tiny_model()
+
+
+@pytest.fixture(scope="module")
+def fitted_validator(trained_tiny_model):
+    model, train_x, train_y, test_x, _ = trained_tiny_model
+    validator = DeepValidator(model, ValidatorConfig(nu=0.15))
+    validator.fit(train_x, train_y)
+    noise = np.random.default_rng(0).random((40, 1, 12, 12))
+    validator.calibrate_threshold(test_x[:40], noise)
+    return validator
+
+
+def _run_threads(workers):
+    """Start, join, and surface the first exception from worker callables."""
+    errors = []
+
+    def guarded(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 — reraised below
+                errors.append(exc)
+
+        return run
+
+    threads = [threading.Thread(target=guarded(fn)) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300.0)
+        assert not thread.is_alive(), "stress worker wedged"
+    if errors:
+        raise errors[0]
+
+
+class TestMonitorThreadSafety:
+    @given(n_threads=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=5, deadline=None)
+    def test_no_lost_verdict_counts(self, fitted_validator, n_threads):
+        per_thread = 3  # batches per thread
+        batch = 4  # images per batch
+        monitor = RuntimeMonitor(fitted_validator)
+        images, _ = easy_image_task(n_threads * per_thread * batch, seed=11)
+
+        def classify_slice(start: int):
+            def run():
+                for b in range(per_thread):
+                    lo = start + b * batch
+                    monitor.classify(images[lo : lo + batch])
+
+            return run
+
+        _run_threads(
+            [classify_slice(t * per_thread * batch) for t in range(n_threads)]
+        )
+
+        total = n_threads * per_thread * batch
+        counts = monitor.health()["counts"]
+        # Conservation: every image produced exactly one tallied verdict
+        # (degraded verdicts also land in accepted/rejected, so those
+        # three partitions cover the stream).
+        assert (
+            counts["accepted"] + counts["rejected"] + counts["quarantined"] == total
+        )
+
+    @given(n_threads=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=3, deadline=None)
+    def test_health_snapshot_is_consistent(self, fitted_validator, n_threads):
+        monitor = RuntimeMonitor(fitted_validator)
+        images, _ = easy_image_task(n_threads * 8, seed=23)
+        stop = threading.Event()
+        snapshots = []
+
+        def classify_slice(start: int):
+            def run():
+                for b in range(4):
+                    monitor.classify(images[start + b * 2 : start + b * 2 + 2])
+
+            return run
+
+        def observe():
+            while not stop.is_set():
+                snapshots.append(monitor.health())
+
+        observer = threading.Thread(target=observe)
+        observer.start()
+        try:
+            _run_threads([classify_slice(t * 8) for t in range(n_threads)])
+        finally:
+            stop.set()
+            observer.join(timeout=60.0)
+        assert not observer.is_alive()
+
+        scored_total = n_threads * 8
+        for snap in snapshots:
+            counts = snap["counts"]
+            scored = counts["accepted"] + counts["rejected"]
+            # Atomicity: a snapshot may be stale but never torn — the
+            # rate it reports always matches its own counts.
+            if scored:
+                assert snap["rejection_rate"] == counts["rejected"] / scored
+            assert scored + counts["quarantined"] <= scored_total
+
+    @pytest.mark.filterwarnings(
+        "ignore::repro.core.resilience.DegradedModeWarning"
+    )
+    def test_breaker_opens_exactly_once_under_concurrency(
+        self, fitted_validator, monkeypatch
+    ):
+        # This test *intends* to degrade (that's what trips the breaker),
+        # so strict-mode escalation of the degraded warning must stay off
+        # even when the suite runs under REPRO_STRICT=1.
+        monkeypatch.setenv("REPRO_STRICT", "0")
+
+        registry = MetricsRegistry()
+        with obs.use(registry=registry, enabled=True):
+            monitor = RuntimeMonitor(
+                fitted_validator, breaker_threshold=2, breaker_cooldown=10_000.0
+            )
+            images, _ = easy_image_task(32, seed=31)
+            broken = fitted_validator.validators[0]
+            with fail_packed_scorer(broken, nth=1, count=-1):
+                def classify_slice(start: int):
+                    def run():
+                        for b in range(4):
+                            lo = start + b * 2
+                            monitor.classify(images[lo : lo + 2])
+
+                    return run
+
+                _run_threads([classify_slice(t * 8) for t in range(4)])
+
+            health = monitor.health()["layers"][broken.layer_name]
+            # The breaker crossed CLOSED -> OPEN exactly once, no matter
+            # how many threads raced their record_failure calls.
+            assert health["state"] == "open"
+            assert health["times_opened"] == 1
+            transitions = obs.counter(
+                "monitor_breaker_transitions_total", labels=("layer", "to")
+            ).labels(layer=broken.layer_name, to="open")
+            assert transitions.value == 1
+
+        # Every image still got a verdict (degraded or rejected, never lost).
+        counts = monitor.health()["counts"]
+        assert counts["accepted"] + counts["rejected"] + counts["quarantined"] == 32
+
+    def test_breaker_registry_not_duplicated(self, fitted_validator):
+        monitor = RuntimeMonitor(fitted_validator)
+        positions = range(len(fitted_validator.validators))
+        seen = [[] for _ in range(8)]
+
+        def toucher(slot: int):
+            def run():
+                for position in positions:
+                    seen[slot].append(monitor._layer_health(position))
+
+            return run
+
+        _run_threads([toucher(s) for s in range(8)])
+        for position in positions:
+            healths = {id(slot_seen[position]) for slot_seen in seen}
+            assert len(healths) == 1, "first-touch race created duplicate breakers"
+
+
+class TestCacheSingleFlight:
+    @given(n_threads=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=5, deadline=None)
+    def test_stampede_computes_once(self, n_threads):
+        cache = LRUCache(8)
+        calls = {"n": 0}
+        lock = threading.Lock()
+        barrier = threading.Barrier(n_threads)
+        results = []
+
+        def compute():
+            with lock:
+                calls["n"] += 1
+            return object()
+
+        def worker():
+            barrier.wait()  # maximise overlap on the same key
+            value = cache.get_or_compute("hot-key", compute)
+            with lock:
+                results.append(value)
+
+        _run_threads([worker] * n_threads)
+
+        assert calls["n"] == 1, "single-flight leaked a duplicate compute"
+        assert len({id(v) for v in results}) == 1
+        stats = cache.stats
+        assert stats["misses"] == 1
+        assert stats["hits"] == n_threads - 1
+        # The invariant the stampede used to break: every request is
+        # accounted exactly once.
+        assert stats["hits"] + stats["misses"] == n_threads
+
+    def test_failed_leader_retries_with_new_leader(self):
+        cache = LRUCache(4)
+        attempts = {"n": 0}
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def flaky_compute():
+            with lock:
+                attempts["n"] += 1
+                attempt = attempts["n"]
+            if attempt == 1:
+                raise RuntimeError("leader died")
+            return "value"
+
+        outcomes = []
+
+        def worker():
+            barrier.wait()
+            try:
+                outcomes.append(cache.get_or_compute("key", flaky_compute))
+            except RuntimeError:
+                outcomes.append("raised")
+
+        _run_threads([worker] * 4)
+
+        # Exactly one caller saw the failure; everyone else converged on
+        # the retried value (a follower became the new leader).
+        assert outcomes.count("raised") == 1
+        assert outcomes.count("value") == 3
+
+    def test_engine_stampede_single_forward_pass(self, fitted_validator):
+        engine = fitted_validator.engine()
+        engine.cache.clear()
+        images, _ = easy_image_task(4, seed=41)
+        computes = {"n": 0}
+        lock = threading.Lock()
+        original = engine._compute
+
+        def counting(batch):
+            with lock:
+                computes["n"] += 1
+            return original(batch)
+
+        engine._compute = counting
+        barrier = threading.Barrier(6)
+        results = []
+
+        def worker():
+            barrier.wait()
+            predictions, per_layer = engine.discrepancies(images)
+            with lock:
+                results.append((predictions, per_layer))
+
+        try:
+            _run_threads([worker] * 6)
+        finally:
+            del engine._compute
+
+        assert computes["n"] == 1, "identical in-flight batches recomputed"
+        reference = results[0]
+        for predictions, per_layer in results[1:]:
+            np.testing.assert_array_equal(predictions, reference[0])
+            np.testing.assert_array_equal(per_layer, reference[1])

@@ -174,6 +174,43 @@ class TestCache:
         assert not cache.contains("bad", {})
 
 
+class TestStableHash:
+    def test_distinct_types_with_same_str_hash_differently(self):
+        # Regression: default=str collapsed any non-JSON value to its
+        # string form, so configs differing only in an opaque object's
+        # *type* keyed the same artifact.
+        from repro.utils.cache import _stable_hash
+
+        class Width:
+            def __repr__(self):
+                return "5"
+
+        class Height:
+            def __repr__(self):
+                return "5"
+
+        assert _stable_hash({"v": Width()}) != _stable_hash({"v": Height()})
+        # And neither collides with the honest JSON scalar.
+        assert _stable_hash({"v": Width()}) != _stable_hash({"v": 5})
+        assert _stable_hash({"v": Width()}) != _stable_hash({"v": "5"})
+
+    def test_pure_json_configs_hash_stably(self):
+        # The opaque-encoding fix must not perturb plain-JSON keys —
+        # existing on-disk artifacts stay addressable.
+        from repro.utils.cache import _stable_hash
+
+        config = {"nu": 0.1, "layers": ["conv1", "fc1"], "strict": True, "pad": None}
+        assert _stable_hash(config) == _stable_hash(dict(reversed(config.items())))
+        assert _stable_hash(config) != _stable_hash({**config, "nu": 0.2})
+
+    def test_opaque_values_hash_deterministically(self):
+        from repro.utils.cache import _stable_hash
+
+        config = {"dtype": np.float32}
+        assert _stable_hash(config) == _stable_hash({"dtype": np.float32})
+        assert _stable_hash(config) != _stable_hash({"dtype": np.float64})
+
+
 class TestArtifactIntegrity:
     def test_store_writes_checksum_sidecar(self, tmp_path):
         cache = ArtifactCache(tmp_path)

@@ -107,7 +107,23 @@ def _metrics_summary(snapshot: dict) -> dict:
         series["labels"]["outcome"]: series["value"]
         for series in snapshot.get("serve_requests_total", {}).get("series", [])
     }
-    summary: dict = {"requests": requests}
+    sheds = {
+        series["labels"]["reason"]: series["value"]
+        for series in snapshot.get("serve_shed_total", {}).get("series", [])
+    }
+    restarts = sum(
+        series["value"]
+        for series in snapshot.get(
+            "serve_worker_restarts_total", {}
+        ).get("series", [])
+    )
+    # A healthy benchmark run sheds nothing and restarts nobody; a
+    # non-zero value here flags a measurement perturbed by supervision.
+    summary: dict = {
+        "requests": requests,
+        "sheds": sheds,
+        "worker_restarts": restarts,
+    }
     for name, key in (
         ("serve_batch_size", "batch_size"),
         ("serve_wait_seconds", "queue_wait_seconds"),

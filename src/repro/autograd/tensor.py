@@ -8,28 +8,39 @@ broadcast operands are reduced back to the operand's shape.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-_grad_enabled = True
+# Tape recording is toggled per *thread*: inference threads (e.g. the
+# serving layer's workers) run the forward pass under no_grad()
+# concurrently with training elsewhere. A process-global flag here was a
+# race — two overlapping no_grad() blocks on different threads could
+# restore each other's snapshots out of order and leave recording
+# disabled for the whole process (surfacing as "backward() called on a
+# tensor that does not require grad" in an unrelated, later fit).
+_grad_state = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables tape recording (for pure inference)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    """Context manager that disables tape recording (for pure inference).
+
+    The switch is thread-local: disabling gradients on one thread never
+    affects a forward pass (or a training loop) running on another.
+    """
+    previous = grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_state.enabled = previous
 
 
 def grad_enabled() -> bool:
-    """Whether tape recording is currently enabled."""
-    return _grad_enabled
+    """Whether tape recording is currently enabled on this thread."""
+    return getattr(_grad_state, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -91,7 +102,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a tensor produced by an op, wiring the tape if enabled."""
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

@@ -79,6 +79,11 @@ class ValidationVerdict:
     (not scored at all; ``prediction`` is ``-1``, ``joint_discrepancy``
     is NaN, and ``reason`` explains why). ``accepted`` is ``True`` only
     when the input was actually scored and fell below the threshold.
+
+    The serving layer extends the vocabulary with queue-level statuses
+    (``OVERLOADED`` / ``EXPIRED``) and may attach machine-readable
+    context under ``detail`` (e.g. the projected queue wait that caused a
+    load-shedding rejection); monitor-issued verdicts leave it ``None``.
     """
 
     prediction: int
@@ -88,6 +93,7 @@ class ValidationVerdict:
     status: str = resilience.VALIDATED
     skipped_layers: tuple[str, ...] = ()
     reason: str | None = None
+    detail: dict | None = None
 
     def __repr__(self) -> str:
         label = "accepted" if self.accepted else "REJECTED"
@@ -394,6 +400,10 @@ class RuntimeMonitor:
         ``layers`` maps each validated layer's name to its circuit-breaker
         snapshot (state, failure counts, times opened), the last recorded
         error, and how many batches were served while it was skipped.
+        ``status`` rolls the breaker states up into one operator word:
+        ``"ok"`` (every layer breaker closed), ``"degraded"`` (at least
+        one open or half-open), or ``"failing"`` (every layer breaker
+        open — nothing can currently be scored).
         ``counts`` mirrors ``stats``; ``quarantined`` and
         ``rejection_rate`` are surfaced at the top level for dashboards.
         ``metrics`` embeds the current observability registry snapshot
@@ -418,7 +428,15 @@ class RuntimeMonitor:
             counts = dict(self.stats)
         scored = counts["accepted"] + counts["rejected"]
         rate = counts["rejected"] / scored if scored else float("nan")
+        states = [snapshot["state"] for snapshot in layers.values()]
+        if states and all(state == CircuitBreaker.OPEN for state in states):
+            status = "failing"
+        elif any(state != CircuitBreaker.CLOSED for state in states):
+            status = "degraded"
+        else:
+            status = "ok"
         return {
+            "status": status,
             "layers": layers,
             "counts": counts,
             "quarantined": counts["quarantined"],

@@ -181,6 +181,14 @@ class CircuitBreaker:
     the breaker half-opens and allows a single probe — success closes it,
     failure re-opens it and restarts the cooldown.
 
+    ``failure_window`` (optional) turns "consecutive failures" into
+    "failures within a sliding window": a failure recorded more than
+    ``failure_window`` seconds after the previous one restarts the streak
+    at 1 instead of extending it. The serve-layer
+    :class:`~repro.serve.supervisor.WorkerSupervisor` uses this to express
+    a restart *budget per window* — occasional, widely-spaced worker
+    deaths never trip it, a crash loop does.
+
     ``clock`` is injectable (default ``time.monotonic``) so tests drive
     the lifecycle deterministically. ``on_transition(old, new)`` is an
     optional hook fired on every state change (including the lazy
@@ -208,18 +216,23 @@ class CircuitBreaker:
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
         on_transition: Callable[[str, str], None] | None = None,
+        failure_window: float | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
         if cooldown < 0:
             raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if failure_window is not None and failure_window <= 0:
+            raise ValueError(f"failure_window must be > 0, got {failure_window}")
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.clock = clock
         self.on_transition = on_transition
+        self.failure_window = failure_window
         self._lock = threading.RLock()
         self._state = self.CLOSED
         self._opened_at: float | None = None
+        self._last_failure_at: float | None = None
         self.failures = 0
         self.successes = 0
         self.consecutive_failures = 0
@@ -261,6 +274,16 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         """Note a failed call; may trip the breaker open."""
         with self._lock:
+            now = self.clock()
+            if (
+                self.failure_window is not None
+                and self._last_failure_at is not None
+                and now - self._last_failure_at > self.failure_window
+            ):
+                # The previous streak aged out of the window; this failure
+                # starts a new one rather than extending stale history.
+                self.consecutive_failures = 0
+            self._last_failure_at = now
             self.failures += 1
             self.consecutive_failures += 1
             state = self._current_state()

@@ -1,27 +1,35 @@
 """repro.serve — dependency-free concurrent serving for the runtime monitor.
 
 Micro-batched validation-as-a-service: single-image requests are coalesced
-into packed batches (``MicroBatcher``), scored by worker threads through a
-shared thread-safe ``RuntimeMonitor``, and answered via per-request
-``VerdictFuture``\\ s, with explicit backpressure (``OVERLOADED``) and
-queue deadlines (``EXPIRED``). See ``docs/serving.md``.
+into packed batches (``MicroBatcher``), scored by supervised worker
+threads through a shared thread-safe ``RuntimeMonitor``, and answered via
+per-request ``VerdictFuture``\\ s, with explicit backpressure and adaptive
+load shedding (``OVERLOADED``), queue deadlines (``EXPIRED``), and a
+``WorkerSupervisor`` that restarts dead workers with capped backoff and
+fails fast when restarts stop helping. See ``docs/serving.md``.
 """
 
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import Ewma, MicroBatcher
 from repro.serve.futures import ResultTimeout, VerdictFuture
 from repro.serve.server import (
     EXPIRED,
     OVERLOADED,
+    SHED_REASONS,
     ServeConfig,
     ValidationServer,
 )
+from repro.serve.supervisor import SupervisorConfig, WorkerSupervisor
 
 __all__ = [
     "EXPIRED",
     "OVERLOADED",
+    "SHED_REASONS",
+    "Ewma",
     "MicroBatcher",
     "ResultTimeout",
     "ServeConfig",
+    "SupervisorConfig",
     "ValidationServer",
     "VerdictFuture",
+    "WorkerSupervisor",
 ]

@@ -40,6 +40,45 @@ def _queue_depth_gauge():
     )
 
 
+class Ewma:
+    """A thread-safe exponentially-weighted moving average.
+
+    The serving layer's load-shedding estimator: cheap to update on every
+    request, biased toward recent behaviour (``alpha`` is the weight of
+    the newest sample), and honest about cold starts — :attr:`value` is
+    ``None`` until the first observation, so the server never sheds on a
+    made-up number.
+    """
+
+    __slots__ = ("alpha", "_value", "_lock")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, sample: float) -> float:
+        """Fold one sample in; returns the updated average."""
+        sample = float(sample)
+        with self._lock:
+            if self._value is None:
+                self._value = sample
+            else:
+                self._value += self.alpha * (sample - self._value)
+            return self._value
+
+    @property
+    def value(self) -> float | None:
+        """Current average, or ``None`` before any observation."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Ewma(alpha={self.alpha}, value={self.value})"
+
+
 class MicroBatcher:
     """A bounded request queue that hands out coalesced batches.
 
@@ -134,6 +173,39 @@ class MicroBatcher:
                 self._not_empty.wait(timeout=0.005)
             _queue_depth_gauge().set(len(self._queue))
             return batch
+
+    def requeue(self, items) -> None:
+        """Readmit in-flight items at the *front* of the queue.
+
+        The worker-death recovery path: a dying worker's undelivered
+        tickets go back ahead of newer arrivals so a crash costs latency,
+        not ordering. Unlike :meth:`offer` this works on a closed batcher
+        (the items were admitted before the close) and ignores
+        ``queue_depth`` — the items already held a slot when they were
+        first admitted, so readmission cannot grow the server's footprint
+        beyond what backpressure allowed.
+        """
+        items = list(items)
+        if not items:
+            return
+        with self._lock:
+            for item in reversed(items):
+                self._queue.appendleft(item)
+            _queue_depth_gauge().set(len(self._queue))
+            self._not_empty.notify_all()
+
+    def drain(self) -> list:
+        """Remove and return everything still queued (post-close sweep).
+
+        The server calls this after the workers have been joined so
+        requests stranded by dead workers can be resolved with a
+        structured shutdown verdict instead of leaking pending futures.
+        """
+        with self._lock:
+            items = list(self._queue)
+            self._queue.clear()
+            _queue_depth_gauge().set(0)
+            return items
 
     def close(self) -> None:
         """Refuse further offers; wake consumers so they drain and exit."""

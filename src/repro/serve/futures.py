@@ -26,12 +26,13 @@ class ResultTimeout(TimeoutError):
 class VerdictFuture:
     """A write-once slot a serve worker fills with one request's verdict."""
 
-    __slots__ = ("_event", "_value", "_exception")
+    __slots__ = ("_event", "_value", "_exception", "_lock")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value = None
         self._exception: BaseException | None = None
+        self._lock = threading.Lock()
 
     def done(self) -> bool:
         """Whether a verdict (or failure) has landed."""
@@ -55,16 +56,35 @@ class VerdictFuture:
     # -- producer side (serve workers only) ------------------------------------
 
     def _resolve(self, value) -> None:
-        if self._event.is_set():
+        if not self._try_resolve(value):
             raise RuntimeError("future already resolved")
-        self._value = value
-        self._event.set()
 
     def _fail(self, exception: BaseException) -> None:
-        if self._event.is_set():
+        if not self._try_fail(exception):
             raise RuntimeError("future already resolved")
-        self._exception = exception
-        self._event.set()
+
+    def _try_resolve(self, value) -> bool:
+        """Resolve if still pending; ``False`` when someone beat us to it.
+
+        The supervision layer needs first-writer-wins semantics: a
+        restarted worker retrying a requeued ticket can race the server's
+        close-time drain sweep, and exactly one of them may land.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._event.set()
+            return True
+
+    def _try_fail(self, exception: BaseException) -> bool:
+        """Fail if still pending; ``False`` when already resolved."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._exception = exception
+            self._event.set()
+            return True
 
     def __repr__(self) -> str:
         state = "resolved" if self.done() else "pending"

@@ -9,13 +9,26 @@ worker threads pull coalesced batches from a
 N single-image requests costs a handful of packed forward passes instead
 of N.
 
-Three structured, non-exceptional outcomes extend the monitor's verdict
+The workers are **supervised**
+(:class:`~repro.serve.supervisor.WorkerSupervisor`): a worker that dies —
+any ``BaseException`` out of ``_process`` or a raise from
+``MicroBatcher.next_batch`` — has its in-flight tickets requeued (bounded
+retries) or failed, is recorded, and is restarted with capped exponential
+backoff; a crash loop trips a restart-budget breaker that fails new
+requests fast instead of queueing them behind a pool that cannot serve.
+
+Structured, non-exceptional outcomes extend the monitor's verdict
 vocabulary at the queueing layer:
 
-* ``OVERLOADED`` — the bounded queue was full at submit time; the request
-  was never enqueued (explicit backpressure, not an unbounded pile-up);
+* ``OVERLOADED`` — the request was shed at the door and never enqueued:
+  the bounded queue was full (hard backstop), the *projected* queue wait
+  exceeded the configured latency SLO (adaptive shedding — the verdict's
+  ``detail`` carries the projection), the worker restart budget was
+  exhausted, or the server was closing;
 * ``EXPIRED`` — the request's deadline elapsed while it waited in the
-  queue; it is resolved unscored when a worker dequeues it;
+  queue; it is resolved unscored when a worker dequeues it (re-checked
+  after scoring-group formation, so a slow previous batch cannot burn an
+  expired ticket's slot);
 * requests whose array is not a single ``(C, H, W)`` image are
   ``QUARANTINED`` at the door (the per-request contract is one image —
   shape triage happens before batching so one malformed request can
@@ -33,9 +46,10 @@ partition, and agree to tight tolerance across partitions — see
 
 from __future__ import annotations
 
+import math
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -43,12 +57,23 @@ import numpy as np
 from repro import obs
 from repro.core import resilience
 from repro.core.monitor import RuntimeMonitor, ValidationVerdict
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import Ewma, MicroBatcher
 from repro.serve.futures import VerdictFuture
+from repro.serve.supervisor import SupervisorConfig, WorkerSupervisor
 
 #: Queue-level verdict statuses (extending :data:`repro.core.resilience.STATUSES`).
 OVERLOADED = "OVERLOADED"
 EXPIRED = "EXPIRED"
+
+#: ``stats()`` count key → ``serve_shed_total`` reason label for requests
+#: shed at the door (resolved ``OVERLOADED`` without ever being queued,
+#: or drained unscored at shutdown).
+SHED_REASONS = {
+    "overloaded": "queue_full",
+    "shed_slo": "slo",
+    "shed_breaker": "breaker",
+    "shed_shutdown": "shutdown",
+}
 
 
 def _requests_counter():
@@ -56,6 +81,14 @@ def _requests_counter():
         "serve_requests_total",
         help="Serve requests by final outcome",
         labels=("outcome",),
+    )
+
+
+def _shed_counter():
+    return obs.counter(
+        "serve_shed_total",
+        help="Requests shed at the door, by reason",
+        labels=("reason",),
     )
 
 
@@ -82,6 +115,7 @@ class _Ticket:
     future: VerdictFuture
     enqueued_at: float
     deadline: float | None
+    retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -94,6 +128,16 @@ class ServeConfig:
     ``workers`` is the scoring thread count, and ``default_timeout_ms``
     (optional) gives every request a queue deadline unless ``submit``
     overrides it.
+
+    ``latency_slo_ms`` (optional) arms adaptive load shedding: when the
+    projected queue wait — an EWMA blend of observed per-request waits
+    and per-batch service times, smoothed with ``shed_alpha`` — exceeds
+    the SLO, ``submit`` sheds the request immediately with a structured
+    ``OVERLOADED`` verdict carrying the projection, instead of queueing
+    work that is already late. The static ``queue_depth`` bound remains
+    the hard backstop. ``supervision`` tunes the worker supervisor
+    (restart backoff, restart budget, stall replacement); ``None`` uses
+    :class:`~repro.serve.supervisor.SupervisorConfig` defaults.
     """
 
     max_batch: int = 32
@@ -101,6 +145,9 @@ class ServeConfig:
     queue_depth: int = 256
     workers: int = 1
     default_timeout_ms: float | None = None
+    latency_slo_ms: float | None = None
+    shed_alpha: float = 0.2
+    supervision: SupervisorConfig = field(default_factory=SupervisorConfig)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -109,15 +156,22 @@ class ServeConfig:
             raise ValueError(
                 f"default_timeout_ms must be >= 0, got {self.default_timeout_ms}"
             )
+        if self.latency_slo_ms is not None and self.latency_slo_ms <= 0:
+            raise ValueError(
+                f"latency_slo_ms must be > 0, got {self.latency_slo_ms}"
+            )
+        if not 0.0 < self.shed_alpha <= 1.0:
+            raise ValueError(f"shed_alpha must be in (0, 1], got {self.shed_alpha}")
 
 
 class ValidationServer:
     """Micro-batching front-end over one thread-safe :class:`RuntimeMonitor`.
 
     Usable as a context manager (``with ValidationServer(monitor) as srv``)
-    — workers start on entry and are drained and joined on exit. The
-    monitor's ``stats``/``health()`` keep counting exactly as under serial
-    use; the server adds its own queue-level tallies via :meth:`stats`.
+    — supervised workers start on entry and are drained and joined on
+    exit. The monitor's ``stats``/``health()`` keep counting exactly as
+    under serial use; the server adds its own queue-level tallies via
+    :meth:`stats` and a combined operator snapshot via :meth:`health`.
     """
 
     def __init__(
@@ -135,16 +189,24 @@ class ValidationServer:
             queue_depth=self.config.queue_depth,
             clock=self._clock,
         )
-        self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
         self._started = False
         self._closed = False
+        self._wait_ewma = Ewma(self.config.shed_alpha)
+        self._service_ewma = Ewma(self.config.shed_alpha)
+        self.supervisor = WorkerSupervisor(
+            self, self.config.supervision, clock=self._clock
+        )
         self._counts = {
             "submitted": 0,
             "completed": 0,
             "overloaded": 0,
             "expired": 0,
             "quarantined_at_submit": 0,
+            "shed_slo": 0,
+            "shed_breaker": 0,
+            "shed_shutdown": 0,
+            "failed": 0,
             "batches": 0,
             "worker_errors": 0,
         }
@@ -152,38 +214,43 @@ class ValidationServer:
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> "ValidationServer":
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the supervised worker threads (idempotent)."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("server already closed")
             if self._started:
                 return self
             self._started = True
-            for index in range(self.config.workers):
-                thread = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"repro-serve-worker-{index}",
-                    daemon=True,
-                )
-                self._threads.append(thread)
-                thread.start()
+        self.supervisor.start()
         return self
 
     def close(self, timeout: float | None = None) -> None:
         """Stop accepting requests, drain the queue, join the workers.
 
-        Queued requests are still scored (the batcher drains before
-        workers exit). ``timeout`` bounds the per-thread join — a wedged
-        worker (e.g. a deadlocked scorer under fault injection) then
-        leaves its futures unresolved rather than hanging ``close``.
+        Queued requests are still scored where workers survive to score
+        them (the batcher drains before workers exit); anything left in
+        the queue afterwards — e.g. tickets stranded because every worker
+        died and restarts were stopped by the close — is resolved with a
+        structured ``OVERLOADED`` shutdown verdict, so ``close`` never
+        leaks a pending future it can reach. ``timeout`` bounds each join
+        — a *wedged* worker (deadlocked scorer under fault injection)
+        still holds its in-flight tickets, which then stay unresolved
+        rather than hanging ``close``.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        self.supervisor.stop()  # no restarts during (or after) the drain
         self.batcher.close()
-        for thread in self._threads:
-            thread.join(timeout)
+        self.supervisor.join(timeout)
+        for ticket in self.batcher.drain():
+            self._resolve_rejection(
+                ticket.future,
+                OVERLOADED,
+                "server closed before the request was scored",
+                "shed_shutdown",
+            )
 
     def __enter__(self) -> "ValidationServer":
         return self.start()
@@ -201,9 +268,10 @@ class ValidationServer:
         ``timeout_ms`` (defaulting to ``config.default_timeout_ms``) is a
         queue deadline on the server clock: a request still waiting when
         it expires is resolved ``EXPIRED`` instead of scored. Rejections
-        (bad shape, full queue) resolve the returned future immediately
-        with a structured verdict — ``submit`` itself never raises on bad
-        input, matching the monitor's fail-safe contract.
+        (bad shape, tripped restart breaker, projected wait over the SLO,
+        full queue) resolve the returned future immediately with a
+        structured verdict — ``submit`` itself never raises on bad input,
+        matching the monitor's fail-safe contract.
         """
         future = VerdictFuture()
         try:
@@ -231,6 +299,35 @@ class ValidationServer:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed server")
             self._counts["submitted"] += 1
+        if not self.supervisor.allow_submit():
+            # Fail fast: the worker pool is crash-looping past its restart
+            # budget; queueing would only grow latency for a pool that
+            # cannot currently serve.
+            self._resolve_rejection(
+                future,
+                OVERLOADED,
+                "worker restart budget exhausted; serving suspended until "
+                "the supervisor's probe succeeds",
+                "shed_breaker",
+                detail={"supervisor_state": self.supervisor.breaker.state},
+            )
+            return future
+        slo = self.config.latency_slo_ms
+        if slo is not None:
+            projected = self._projected_wait_s()
+            if projected is not None and projected * 1000.0 > slo:
+                self._resolve_rejection(
+                    future,
+                    OVERLOADED,
+                    f"projected queue wait {projected * 1000.0:.1f}ms exceeds "
+                    f"the {slo:g}ms latency SLO",
+                    "shed_slo",
+                    detail={
+                        "projected_wait_ms": projected * 1000.0,
+                        "slo_ms": slo,
+                    },
+                )
+                return future
         if timeout_ms is None:
             timeout_ms = self.config.default_timeout_ms
         now = self._clock()
@@ -250,9 +347,33 @@ class ValidationServer:
         """Submit one image and block for its verdict (convenience)."""
         return self.submit(image).result(timeout)
 
+    def _projected_wait_s(self) -> float | None:
+        """Estimated queue wait for a request submitted right now.
+
+        ``None`` until the first batch has been observed — the shedder
+        never rejects on a made-up number. Otherwise the larger of the
+        smoothed observed wait and the backlog-based projection
+        (batches ahead of us × smoothed batch service time ÷ workers).
+        """
+        wait = self._wait_ewma.value
+        service = self._service_ewma.value
+        if wait is None and service is None:
+            return None
+        projected = 0.0
+        if service is not None:
+            batches_ahead = math.ceil(
+                (len(self.batcher) + 1) / self.config.max_batch
+            )
+            projected = batches_ahead * service / self.config.workers
+        if wait is not None:
+            projected = max(projected, wait)
+        return projected
+
     # -- worker side -----------------------------------------------------------
 
-    def _rejection_verdict(self, status: str, reason: str) -> ValidationVerdict:
+    def _rejection_verdict(
+        self, status: str, reason: str, detail: dict | None = None
+    ) -> ValidationVerdict:
         n_layers = max(len(self.monitor.validator.validators), 1)
         return ValidationVerdict(
             prediction=-1,
@@ -261,35 +382,105 @@ class ValidationServer:
             accepted=False,
             status=status,
             reason=reason,
+            detail=detail,
         )
 
     def _resolve_rejection(
-        self, future: VerdictFuture, status: str, reason: str, count_key: str
+        self,
+        future: VerdictFuture,
+        status: str,
+        reason: str,
+        count_key: str,
+        detail: dict | None = None,
     ) -> None:
+        if not future._try_resolve(self._rejection_verdict(status, reason, detail)):
+            return  # lost a legitimate race (e.g. close-drain vs. a worker)
         with self._lock:
             self._counts[count_key] += 1
         _requests_counter().labels(outcome=count_key).inc()
-        future._resolve(self._rejection_verdict(status, reason))
+        shed_reason = SHED_REASONS.get(count_key)
+        if shed_reason is not None:
+            _shed_counter().labels(reason=shed_reason).inc()
 
-    def _worker_loop(self) -> None:
+    def _fail_ticket(self, ticket: _Ticket, exc: BaseException) -> None:
+        if not ticket.future._try_fail(exc):
+            return
+        with self._lock:
+            self._counts["failed"] += 1
+        _requests_counter().labels(outcome="failed").inc()
+
+    def _fail_batch(self, batch: list[_Ticket], exc: BaseException) -> None:
+        for ticket in batch:
+            self._fail_ticket(ticket, exc)
+
+    def _requeue_or_fail(self, batch: list[_Ticket], exc: BaseException) -> None:
+        """A dying worker's undelivered tickets go back to the queue.
+
+        Each ticket is retried at most ``supervision.max_batch_retries``
+        times (a poison batch that kills every worker that touches it
+        must not bounce forever); beyond that its future is failed with
+        the fatal exception.
+        """
+        retriable = []
+        for ticket in batch:
+            if ticket.future.done():
+                continue
+            if ticket.retries < self.config.supervision.max_batch_retries:
+                ticket.retries += 1
+                retriable.append(ticket)
+            else:
+                self._fail_ticket(ticket, exc)
+        if retriable:
+            self.batcher.requeue(retriable)
+
+    def _worker_loop(self, slot_index: int, generation: int) -> None:
+        """One supervised worker: dequeue, process, report, repeat.
+
+        Every ``BaseException`` is surfaced, never swallowed: an
+        ``Exception`` out of ``_process`` fails that batch's futures and
+        the worker lives on (scoring the next batch is almost always
+        possible — the monitor's own contract is to degrade, not raise);
+        anything else — a ``BaseException`` from ``_process`` or *any*
+        raise out of ``next_batch`` — requeues or fails the in-flight
+        tickets and re-raises, so the supervisor records the death and
+        schedules a restart.
+        """
+        supervisor = self.supervisor
         while True:
-            batch = self.batcher.next_batch()
-            if batch is None:
-                return
+            if supervisor.superseded(slot_index, generation):
+                return  # replaced after a stall; the slot has a new worker
             try:
-                self._process(batch)
-            except Exception as exc:  # noqa: BLE001 — a worker must outlive a batch
+                batch = self.batcher.next_batch()
+            except BaseException:
                 with self._lock:
                     self._counts["worker_errors"] += 1
-                for ticket in batch:
-                    if not ticket.future.done():
-                        ticket.future._fail(exc)
+                raise  # recorded as a death by the supervisor wrapper
+            if batch is None:
+                return  # batcher closed and drained: clean exit
+            supervisor.beat(slot_index, generation, busy=True)
+            try:
+                self._process(batch)
+            except Exception as exc:  # noqa: BLE001 — worker outlives the batch
+                with self._lock:
+                    self._counts["worker_errors"] += 1
+                self._fail_batch(batch, exc)
+            except BaseException as exc:
+                with self._lock:
+                    self._counts["worker_errors"] += 1
+                self._requeue_or_fail(batch, exc)
+                raise
+            else:
+                supervisor.batch_ok(slot_index, generation)
+            finally:
+                supervisor.beat(slot_index, generation, busy=False)
 
     def _process(self, batch: list[_Ticket]) -> None:
         now = self._clock()
         live: list[_Ticket] = []
         for ticket in batch:
-            _wait_seconds_histogram().observe(max(0.0, now - ticket.enqueued_at))
+            wait = max(0.0, now - ticket.enqueued_at)
+            _wait_seconds_histogram().observe(wait)
+            self._wait_ewma.observe(wait)
             if ticket.deadline is not None and now > ticket.deadline:
                 self._resolve_rejection(
                     ticket.future,
@@ -312,24 +503,74 @@ class ValidationServer:
                 (ticket.image.shape, ticket.image.dtype.str), []
             ).append(ticket)
         for tickets in groups.values():
-            images = np.stack([ticket.image for ticket in tickets])
-            with obs.span("serve.batch", size=len(tickets)):
-                _batch_size_histogram().observe(float(len(tickets)))
+            # Re-check deadlines after group formation: scoring the
+            # previous group may have consumed more than a ticket's
+            # remaining budget, and an expired ticket must not burn a
+            # slot in the stacked batch.
+            now = self._clock()
+            fresh: list[_Ticket] = []
+            for ticket in tickets:
+                if ticket.deadline is not None and now > ticket.deadline:
+                    self._resolve_rejection(
+                        ticket.future,
+                        EXPIRED,
+                        "queue deadline elapsed before scoring",
+                        "expired",
+                    )
+                else:
+                    fresh.append(ticket)
+            if not fresh:
+                continue
+            images = np.stack([ticket.image for ticket in fresh])
+            started = self._clock()
+            with obs.span("serve.batch", size=len(fresh)):
+                _batch_size_histogram().observe(float(len(fresh)))
                 verdicts = self.monitor.classify(images)
-            for ticket, verdict in zip(tickets, verdicts):
-                with self._lock:
-                    self._counts["completed"] += 1
-                _requests_counter().labels(outcome="completed").inc()
-                ticket.future._resolve(verdict)
+            self._service_ewma.observe(max(0.0, self._clock() - started))
+            # One lock hold for the whole group's tally (not one per
+            # ticket); futures resolve outside the lock so waiters never
+            # contend with the server's bookkeeping.
+            with self._lock:
+                self._counts["completed"] += len(fresh)
+            _requests_counter().labels(outcome="completed").inc(len(fresh))
+            for ticket, verdict in zip(fresh, verdicts):
+                ticket.future._try_resolve(verdict)
 
     # -- observability ---------------------------------------------------------
 
     def stats(self) -> dict:
-        """Queue-level tallies plus the current queue depth (atomic copy)."""
+        """Queue-level tallies, queue depth, and supervision summary."""
         with self._lock:
             counts = dict(self._counts)
         counts["queue_depth"] = len(self.batcher)
+        supervisor = self.supervisor.snapshot()
+        counts["live_workers"] = supervisor["live_workers"]
+        counts["restarts"] = supervisor["restarts"]
+        counts["supervisor_state"] = supervisor["state"]
         return counts
+
+    def health(self) -> dict:
+        """Operator snapshot: server-side supervision/shedding + monitor.
+
+        ``server.supervisor`` is the full
+        :meth:`WorkerSupervisor.snapshot` (live workers, restart/death
+        counts, breaker state); ``server.shedding`` exposes the adaptive
+        shedder's current estimates; ``monitor`` is the unchanged
+        :meth:`RuntimeMonitor.health` snapshot.
+        """
+        return {
+            "server": {
+                "counts": self.stats(),
+                "supervisor": self.supervisor.snapshot(),
+                "shedding": {
+                    "latency_slo_ms": self.config.latency_slo_ms,
+                    "ewma_wait_s": self._wait_ewma.value,
+                    "ewma_service_s": self._service_ewma.value,
+                    "projected_wait_s": self._projected_wait_s(),
+                },
+            },
+            "monitor": self.monitor.health(),
+        }
 
     def __repr__(self) -> str:
         return (

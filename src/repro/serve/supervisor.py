@@ -1,0 +1,429 @@
+"""Worker supervision: death detection, capped-backoff restarts, fail-fast.
+
+PR 7's serving layer had a single point of silent death: a worker thread
+that hit a ``BaseException`` (or any raise out of
+``MicroBatcher.next_batch``) exited permanently while the server kept
+accepting requests it would never score. :class:`WorkerSupervisor` closes
+that hole:
+
+* it **owns** the worker threads — each worker slot carries a generation
+  token, a heartbeat timestamp, and a restart count;
+* it **detects death** two ways: workers report their own demise (every
+  ``BaseException`` escaping the worker loop is recorded and re-raised to
+  the supervisor's thread wrapper), and a periodic join-probe catches
+  threads that vanished without reporting;
+* it **restarts** dead workers with capped exponential backoff
+  (``backoff_base_s * 2**consecutive_restarts``, capped at
+  ``backoff_cap_s``, measured on the injectable clock);
+* it **fails fast** when restarting stops helping: worker deaths feed a
+  :class:`~repro.core.resilience.CircuitBreaker` whose
+  ``failure_window`` turns the threshold into a *budget per window* —
+  once ``restart_budget`` deaths land within ``restart_window_s``, the
+  breaker opens, the server sheds new requests with structured
+  ``OVERLOADED`` verdicts, and restarts pause until the cooldown
+  half-opens the breaker for a probe restart.
+
+Optionally (``heartbeat_timeout_s``), the supervisor also *replaces*
+stalled workers: a worker busy on one batch for longer than the timeout
+is superseded — its slot gets a fresh thread and generation while the
+wedged thread is left to finish (or not) as a zombie; generation checks
+make the zombie's late bookkeeping harmless.
+
+Everything time-like runs on the injected clock, and :meth:`poll` is a
+public synchronous entry point, so the chaos harness
+(:mod:`repro.testing.chaos`) drives the whole lifecycle deterministically
+under a :class:`~repro.obs.tracing.ManualClock`; in production a
+background poll thread calls it on a real-time cadence.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import obs
+from repro.core.resilience import CircuitBreaker
+
+
+def _restarts_counter():
+    return obs.counter(
+        "serve_worker_restarts_total",
+        help="Serve worker threads restarted by the supervisor",
+    )
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs for :class:`WorkerSupervisor`.
+
+    ``backoff_base_s`` / ``backoff_cap_s`` shape the restart backoff
+    curve (``base * 2**consecutive_restarts``, capped). ``restart_budget``
+    worker deaths within ``restart_window_s`` trip the restart breaker
+    (fail-fast shedding); the same window is the breaker cooldown before
+    a probe restart. ``heartbeat_timeout_s`` (optional) additionally
+    replaces a worker that has been busy on a single batch longer than
+    the timeout; ``None`` (the default) trusts workers to finish —
+    replacement spawns threads we can never reclaim, so it is opt-in.
+    ``poll_interval_s`` is the real-time cadence of the background poll
+    thread (``None`` disables it — tests then call ``poll()`` directly).
+    ``max_batch_retries`` bounds how many times a ticket orphaned by a
+    dying worker is requeued before its future is failed with the
+    worker's exception.
+    """
+
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    restart_budget: int = 5
+    restart_window_s: float = 30.0
+    heartbeat_timeout_s: float | None = None
+    poll_interval_s: float | None = 0.02
+    max_batch_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.backoff_base_s < 0:
+            raise ValueError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s must be >= backoff_base_s, got "
+                f"{self.backoff_cap_s} < {self.backoff_base_s}"
+            )
+        if self.restart_budget < 1:
+            raise ValueError(f"restart_budget must be >= 1, got {self.restart_budget}")
+        if self.restart_window_s <= 0:
+            raise ValueError(
+                f"restart_window_s must be > 0, got {self.restart_window_s}"
+            )
+        if self.heartbeat_timeout_s is not None and self.heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be > 0, got {self.heartbeat_timeout_s}"
+            )
+        if self.poll_interval_s is not None and self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be > 0, got {self.poll_interval_s}"
+            )
+        if self.max_batch_retries < 0:
+            raise ValueError(
+                f"max_batch_retries must be >= 0, got {self.max_batch_retries}"
+            )
+
+
+class _WorkerSlot:
+    """Bookkeeping for one supervised worker position."""
+
+    __slots__ = (
+        "index",
+        "generation",
+        "thread",
+        "state",
+        "last_beat",
+        "busy_since",
+        "died_at",
+        "consecutive_restarts",
+        "last_error",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.generation = 0
+        self.thread: threading.Thread | None = None
+        self.state = "idle"  # idle | live | dead | stalled | exited
+        self.last_beat = 0.0
+        self.busy_since: float | None = None
+        self.died_at: float | None = None
+        self.consecutive_restarts = 0
+        self.last_error: str | None = None
+
+    def snapshot(self) -> dict:
+        return {
+            "index": self.index,
+            "state": self.state,
+            "generation": self.generation,
+            "consecutive_restarts": self.consecutive_restarts,
+            "last_error": self.last_error,
+        }
+
+
+class WorkerSupervisor:
+    """Owns a server's worker threads; detects death, restarts, fails fast.
+
+    The supervisor holds no scoring logic — it runs the server's
+    ``_worker_loop`` inside a wrapper that turns any escaping
+    ``BaseException`` into a recorded death, and a :meth:`poll` pass that
+    probes liveness and performs due restarts. The server consults
+    :meth:`allow_submit` at the door: a tripped restart breaker means
+    "the worker pool is crash-looping, shed instead of queueing".
+    """
+
+    def __init__(
+        self,
+        server,
+        config: SupervisorConfig | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        import time
+
+        self._server = server
+        self.config = config if config is not None else SupervisorConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.RLock()
+        self._slots = [
+            _WorkerSlot(index) for index in range(server.config.workers)
+        ]
+        self._started = False
+        self._stopped = False
+        self._poll_thread: threading.Thread | None = None
+        self._poll_wakeup = threading.Event()
+        self._poll_errors = 0
+        self._last_poll_error: str | None = None
+        self.restarts = 0
+        self.deaths = 0
+        self.stalls = 0
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.restart_budget,
+            cooldown=self.config.restart_window_s,
+            clock=self._clock,
+            failure_window=self.config.restart_window_s,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one worker per slot plus the background poll thread."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for slot in self._slots:
+                self._spawn(slot)
+            if self.config.poll_interval_s is not None:
+                self._poll_thread = threading.Thread(
+                    target=self._poll_loop,
+                    name="repro-serve-supervisor",
+                    daemon=True,
+                )
+                self._poll_thread.start()
+
+    def stop(self) -> None:
+        """Stop restarting and polling (the server is closing)."""
+        with self._lock:
+            self._stopped = True
+        self._poll_wakeup.set()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Join the poll thread and every current-generation worker.
+
+        ``timeout`` bounds each individual join. Superseded (zombie)
+        threads are *not* joined — they are daemons wedged on a batch the
+        supervisor already gave up on; joining them would reintroduce the
+        hang the stall replacement existed to avoid.
+        """
+        if self._poll_thread is not None:
+            self._poll_thread.join(timeout)
+        with self._lock:
+            threads = [slot.thread for slot in self._slots if slot.thread]
+        for thread in threads:
+            thread.join(timeout)
+
+    # -- worker-side reporting -------------------------------------------------
+
+    def beat(self, slot_index: int, generation: int, busy: bool) -> None:
+        """Record a worker heartbeat (``busy`` marks batch start/finish)."""
+        with self._lock:
+            slot = self._slots[slot_index]
+            if slot.generation != generation:
+                return  # a superseded zombie; its slot has moved on
+            now = self._clock()
+            slot.last_beat = now
+            slot.busy_since = now if busy else None
+
+    def batch_ok(self, slot_index: int, generation: int) -> None:
+        """A worker finished a batch cleanly: recovery is working."""
+        with self._lock:
+            slot = self._slots[slot_index]
+            if slot.generation != generation:
+                return
+            slot.consecutive_restarts = 0
+            # Only a half-open probe success should close the breaker:
+            # within the window, deaths must keep counting toward the
+            # budget even when interleaved with completed batches (a
+            # crash loop that limps through one batch per life is still
+            # a crash loop).
+            if self.breaker.state == CircuitBreaker.HALF_OPEN:
+                self.breaker.record_success()
+
+    def record_death(
+        self, slot_index: int, generation: int, exc: BaseException
+    ) -> None:
+        """A worker's loop raised: mark the slot dead and feed the budget."""
+        with self._lock:
+            slot = self._slots[slot_index]
+            if slot.generation != generation:
+                return  # zombie death after replacement; already accounted
+            slot.state = "dead"
+            slot.died_at = self._clock()
+            slot.busy_since = None
+            slot.last_error = f"{type(exc).__name__}: {exc}"
+            self.deaths += 1
+            self.breaker.record_failure()
+
+    def record_exit(self, slot_index: int, generation: int) -> None:
+        """A worker drained the closed batcher and exited cleanly."""
+        with self._lock:
+            slot = self._slots[slot_index]
+            if slot.generation != generation:
+                return
+            slot.state = "exited"
+            slot.busy_since = None
+
+    def superseded(self, slot_index: int, generation: int) -> bool:
+        """Whether this (slot, generation) worker has been replaced."""
+        with self._lock:
+            return self._slots[slot_index].generation != generation
+
+    # -- supervision pass ------------------------------------------------------
+
+    def allow_submit(self) -> bool:
+        """Whether the door is open (restart breaker not tripped)."""
+        return self.breaker.allow()
+
+    def poll(self) -> int:
+        """One supervision pass: probe liveness, perform due restarts.
+
+        Returns the number of workers (re)started. Safe to call from any
+        thread and fully deterministic under an injected clock — the
+        chaos harness calls it directly instead of relying on the
+        real-time poll thread.
+        """
+        with self._lock:
+            if not self._started or self._stopped or self._server._closed:
+                return 0
+            now = self._clock()
+            for slot in self._slots:
+                if slot.state != "live":
+                    continue
+                if slot.thread is not None and not slot.thread.is_alive():
+                    # Join-probe backstop: the thread vanished without
+                    # reporting (should be impossible — the wrapper
+                    # catches BaseException — but a supervisor must not
+                    # trust its wards).
+                    slot.state = "dead"
+                    slot.died_at = now
+                    slot.busy_since = None
+                    slot.last_error = "worker thread exited without reporting"
+                    self.deaths += 1
+                    self.breaker.record_failure()
+                elif (
+                    self.config.heartbeat_timeout_s is not None
+                    and slot.busy_since is not None
+                    and now - slot.busy_since > self.config.heartbeat_timeout_s
+                ):
+                    # Stalled: wedged on one batch past the heartbeat
+                    # budget. Supersede the thread (it may never return)
+                    # and treat the slot as restartable.
+                    slot.state = "stalled"
+                    slot.died_at = now
+                    slot.busy_since = None
+                    slot.last_error = (
+                        f"worker stalled: busy > {self.config.heartbeat_timeout_s}s "
+                        "on one batch"
+                    )
+                    self.stalls += 1
+                    self.breaker.record_failure()
+            started = 0
+            for slot in self._slots:
+                if slot.state not in ("dead", "stalled"):
+                    continue
+                backoff = min(
+                    self.config.backoff_base_s * (2 ** slot.consecutive_restarts),
+                    self.config.backoff_cap_s,
+                )
+                if slot.died_at is not None and now - slot.died_at < backoff:
+                    continue
+                if not self.breaker.allow():
+                    continue  # budget blown; wait out the cooldown
+                slot.consecutive_restarts += 1
+                self.restarts += 1
+                _restarts_counter().inc()
+                self._spawn(slot)
+                started += 1
+            return started
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        # Caller holds the lock.
+        slot.generation += 1
+        slot.state = "live"
+        slot.last_beat = self._clock()
+        slot.busy_since = None
+        slot.died_at = None
+        generation = slot.generation
+        thread = threading.Thread(
+            target=self._run_worker,
+            args=(slot.index, generation),
+            name=f"repro-serve-worker-{slot.index}-gen{generation}",
+            daemon=True,
+        )
+        slot.thread = thread
+        thread.start()
+
+    def _run_worker(self, slot_index: int, generation: int) -> None:
+        try:
+            self._server._worker_loop(slot_index, generation)
+        except BaseException as exc:  # noqa: BLE001 — the supervision boundary
+            self.record_death(slot_index, generation, exc)
+        else:
+            self.record_exit(slot_index, generation)
+
+    def _poll_loop(self) -> None:
+        while True:
+            self._poll_wakeup.wait(self.config.poll_interval_s)
+            with self._lock:
+                if self._stopped:
+                    return
+            try:
+                self.poll()
+            except Exception as exc:  # noqa: BLE001 — the poller must not die
+                with self._lock:
+                    self._poll_errors += 1
+                    self._last_poll_error = f"{type(exc).__name__}: {exc}"
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def live_workers(self) -> int:
+        """Workers currently live (state and thread liveness agree)."""
+        with self._lock:
+            return sum(
+                1
+                for slot in self._slots
+                if slot.state == "live"
+                and slot.thread is not None
+                and slot.thread.is_alive()
+            )
+
+    def snapshot(self) -> dict:
+        """Operator-facing supervision summary (atomic)."""
+        with self._lock:
+            return {
+                "live_workers": sum(
+                    1
+                    for slot in self._slots
+                    if slot.state == "live"
+                    and slot.thread is not None
+                    and slot.thread.is_alive()
+                ),
+                "target_workers": len(self._slots),
+                "restarts": self.restarts,
+                "deaths": self.deaths,
+                "stalls": self.stalls,
+                "state": self.breaker.state,
+                "breaker": self.breaker.snapshot(),
+                "poll_errors": self._poll_errors,
+                "workers": [slot.snapshot() for slot in self._slots],
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerSupervisor(live={self.live_workers}/{len(self._slots)}, "
+            f"restarts={self.restarts}, state={self.breaker.state!r})"
+        )

@@ -4,13 +4,19 @@ Nothing here runs in production serving paths; :mod:`repro.testing.faults`
 exists so the resilience and checkpoint suites (and operators rehearsing
 incident response) can inject the failure modes the stack claims to
 survive — NaN activations, corrupt artifacts, failing scorers, dying or
-hanging worker pools, and mid-pipeline process deaths — deterministically
-and reversibly.
+hanging worker pools, mid-pipeline process deaths, and dying serve
+workers — deterministically and reversibly. :mod:`repro.testing.chaos`
+composes those injectors into seeded, clock-driven soak runs against the
+serving stack (see ``docs/serving.md``).
 """
+
+from repro.testing.chaos import ChaosPlan, SoakInvariantError, SoakReport, run_soak
 
 from repro.testing.faults import (
     FaultPlan,
+    InjectedBatcherError,
     InjectedCrashError,
+    InjectedWorkerDeath,
     corrupt_artifact,
     crash_at_epoch,
     crash_at_task,
@@ -18,14 +24,21 @@ from repro.testing.faults import (
     fail_packed_scorer,
     hang_classify,
     hang_fit_worker,
+    kill_worker,
     nan_activations,
+    raise_in_batcher,
     slow_classify,
     slow_layer,
 )
 
 __all__ = [
+    "ChaosPlan",
     "FaultPlan",
+    "InjectedBatcherError",
     "InjectedCrashError",
+    "InjectedWorkerDeath",
+    "SoakInvariantError",
+    "SoakReport",
     "corrupt_artifact",
     "crash_at_epoch",
     "crash_at_task",
@@ -33,7 +46,10 @@ __all__ = [
     "fail_packed_scorer",
     "hang_classify",
     "hang_fit_worker",
+    "kill_worker",
     "nan_activations",
+    "raise_in_batcher",
+    "run_soak",
     "slow_classify",
     "slow_layer",
 ]

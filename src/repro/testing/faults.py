@@ -24,6 +24,12 @@ The four fault classes mirror the resilience layer's threat model:
   monitor whose ``classify`` gains fixed latency, or wedges entirely
   until released (a deadlocked serve worker), for backpressure and
   drain-timeout tests;
+* :func:`kill_worker` / :func:`raise_in_batcher` — serve-worker death: a
+  server whose ``_process`` raises a non-``Exception``
+  ``BaseException`` on chosen batches (optionally once per worker slot),
+  or a batcher whose ``next_batch`` raises on chosen calls — both kill
+  the worker thread outright, exercising the supervisor's requeue,
+  restart, and restart-budget paths;
 * :func:`dead_fit_pool` — worker death: the fitting pipeline's
   multiprocessing pool dies on dispatch, exercising the in-process
   fallback;
@@ -336,6 +342,120 @@ def hang_classify(monitor, nth: int = 1, count: int = 1) -> Iterator[dict]:
             del monitor.classify
 
 
+class InjectedWorkerDeath(BaseException):
+    """An injected serve-worker death.
+
+    Deliberately a ``BaseException`` (not ``Exception``): it models the
+    class of failures a worker thread cannot recover from in place —
+    the worker loop's ``Exception`` handler must *not* swallow it, so it
+    propagates to the :class:`~repro.serve.supervisor.WorkerSupervisor`,
+    which records the death and restarts the slot.
+    """
+
+
+@contextlib.contextmanager
+def kill_worker(
+    server, nth: int = 1, count: int = 1, per_worker: bool = False
+) -> Iterator[dict]:
+    """Make chosen serve batches kill the worker processing them.
+
+    Patches ``server._process`` on the instance so calls ``nth ..
+    nth+count-1`` (1-based; negative ``count`` means every call from
+    ``nth`` on) raise :class:`InjectedWorkerDeath` *before* any ticket is
+    resolved — exactly the shape of an asynchronous worker death with a
+    full batch in hand. With ``per_worker=True`` the call numbering is
+    kept per worker *slot* (parsed from the supervisor's thread naming),
+    so e.g. ``nth=1, count=1`` kills every worker exactly once — the
+    chaos harness uses this to guarantee each slot dies at least once
+    regardless of which worker wins which batch.
+
+    Yields a stats dict tracking ``"batches"`` (total patched calls),
+    ``"kills"``, and ``"per_slot"`` (calls by slot index; ``None`` for
+    threads outside the supervisor's naming scheme).
+    """
+    import re
+    import threading
+
+    had_instance_attr = "_process" in server.__dict__
+    original = server._process
+    tally = threading.Lock()
+    stats: dict = {"batches": 0, "kills": 0, "per_slot": {}}
+    slot_pattern = re.compile(r"repro-serve-worker-(\d+)")
+
+    def lethal(batch):
+        match = slot_pattern.match(threading.current_thread().name)
+        slot = int(match.group(1)) if match else None
+        with tally:
+            stats["batches"] += 1
+            calls = stats["per_slot"].get(slot, 0) + 1
+            stats["per_slot"][slot] = calls
+            call = calls if per_worker else stats["batches"]
+            kill = call >= nth and (count < 0 or call < nth + count)
+            if kill:
+                stats["kills"] += 1
+        if kill:
+            raise InjectedWorkerDeath(
+                f"injected worker death on batch {call}"
+                + (f" of slot {slot}" if per_worker else "")
+            )
+        return original(batch)
+
+    server._process = lethal
+    try:
+        yield stats
+    finally:
+        if had_instance_attr:
+            server._process = original
+        else:
+            del server._process
+
+
+class InjectedBatcherError(RuntimeError):
+    """An injected failure inside ``MicroBatcher.next_batch``."""
+
+
+@contextlib.contextmanager
+def raise_in_batcher(batcher, nth: int = 1, count: int = 1) -> Iterator[dict]:
+    """Make chosen ``next_batch`` calls raise instead of dequeuing.
+
+    Calls ``nth .. nth+count-1`` (1-based; negative ``count`` means every
+    call from ``nth`` on) of the patched batcher's ``next_batch`` raise
+    :class:`InjectedBatcherError` *before* touching the queue — no ticket
+    is lost, but the calling worker thread dies, exercising the worker
+    loop's "any raise out of ``next_batch`` is fatal" path and the
+    supervisor's restart. Yields a stats dict tracking ``"calls"`` and
+    ``"raises"``.
+    """
+    import threading
+
+    had_instance_attr = "next_batch" in batcher.__dict__
+    original = batcher.next_batch
+    tally = threading.Lock()
+    stats = {"calls": 0, "raises": 0}
+
+    def explosive():
+        with tally:
+            stats["calls"] += 1
+            call = stats["calls"]
+            explode = call >= nth and (count < 0 or call < nth + count)
+            if explode:
+                stats["raises"] += 1
+        if explode:
+            raise InjectedBatcherError(
+                f"injected batcher failure on next_batch call {call}"
+            )
+        return original()
+
+    batcher.next_batch = explosive
+    try:
+        yield stats
+    finally:
+        if had_instance_attr:
+            batcher.next_batch = original
+        else:
+            del batcher.next_batch
+
+
 # -- worker-pool faults --------------------------------------------------------
 
 
@@ -625,6 +745,24 @@ class FaultPlan:
         """Register hanging ``classify`` calls ``nth..nth+count-1``."""
         self._factories.append(lambda: hang_classify(monitor, nth=nth, count=count))
         self._labels.append(f"hang_classify(nth={nth}, count={count})")
+        return self
+
+    def kill_worker(
+        self, server, nth: int = 1, count: int = 1, per_worker: bool = False
+    ) -> "FaultPlan":
+        """Register serve-worker deaths on batches ``nth..nth+count-1``."""
+        self._factories.append(
+            lambda: kill_worker(server, nth=nth, count=count, per_worker=per_worker)
+        )
+        self._labels.append(
+            f"kill_worker(nth={nth}, count={count}, per_worker={per_worker})"
+        )
+        return self
+
+    def raise_in_batcher(self, batcher, nth: int = 1, count: int = 1) -> "FaultPlan":
+        """Register ``next_batch`` failures on calls ``nth..nth+count-1``."""
+        self._factories.append(lambda: raise_in_batcher(batcher, nth=nth, count=count))
+        self._labels.append(f"raise_in_batcher(nth={nth}, count={count})")
         return self
 
     def dead_fit_pool(self) -> "FaultPlan":

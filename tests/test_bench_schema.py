@@ -114,7 +114,10 @@ class TestServeBenchRecord:
     def test_metrics_summary(self):
         record = _load("BENCH_serve.json")
         metrics = record["metrics"]
-        assert set(metrics) == {"requests", "batch_size", "queue_wait_seconds"}
+        assert set(metrics) == {
+            "requests", "batch_size", "queue_wait_seconds", "sheds",
+            "worker_restarts",
+        }
         # Every timed request stream completed (no overload/expiry during
         # a benchmark run would be a measurement bug, not a perf fact).
         assert metrics["requests"].get("completed", 0) > 0
@@ -123,7 +126,16 @@ class TestServeBenchRecord:
             "overloaded",
             "expired",
             "quarantined_at_submit",
+            "shed_slo",
+            "shed_breaker",
+            "shed_shutdown",
+            "failed",
         }
+        # A clean benchmark run: nothing shed, no worker restarted.
+        assert set(metrics["sheds"]) <= {
+            "queue_full", "slo", "breaker", "shutdown",
+        }
+        assert metrics["worker_restarts"] == 0
         for key in ("batch_size", "queue_wait_seconds"):
             section = metrics[key]
             assert set(section) == {"count", "total", "mean"}

@@ -6,7 +6,9 @@ import pytest
 from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
 
 #: Every top-level key ``RuntimeMonitor.health()`` documents.
-HEALTH_KEYS = {"layers", "counts", "quarantined", "rejection_rate", "metrics"}
+HEALTH_KEYS = {
+    "status", "layers", "counts", "quarantined", "rejection_rate", "metrics",
+}
 
 #: Every per-layer key of the ``layers`` section (breaker snapshot + extras).
 LAYER_KEYS = {
@@ -102,6 +104,7 @@ class TestHealthRegression:
 
     def _assert_shape(self, health, n_layers=3):
         assert set(health) == HEALTH_KEYS
+        assert health["status"] in ("ok", "degraded", "failing")
         assert set(health["counts"]) == COUNT_KEYS
         assert len(health["layers"]) == n_layers
         for snapshot in health["layers"].values():
@@ -112,6 +115,7 @@ class TestHealthRegression:
         monitor = RuntimeMonitor(fitted_validator)
         health = monitor.health()
         self._assert_shape(health)
+        assert health["status"] == "ok"
         assert set(health["layers"]) == {"conv1", "conv2", "fc1"}
         assert health["counts"] == {
             "accepted": 0, "rejected": 0, "quarantined": 0, "degraded": 0,
@@ -135,6 +139,7 @@ class TestHealthRegression:
         assert accepted > 0
         health = monitor.health()
         self._assert_shape(health)
+        assert health["status"] == "ok"
         assert health["counts"]["accepted"] == accepted
         assert health["counts"]["degraded"] == 0
         assert health["quarantined"] == 0
@@ -179,6 +184,9 @@ class TestHealthRegression:
         assert (
             health["counts"]["accepted"] + health["counts"]["rejected"] == 6
         )
+        # status rolls up *breaker* states, not verdict statuses: one
+        # failure under threshold 2 leaves every breaker closed.
+        assert health["status"] == "ok"
         broken = health["layers"]["conv2"]
         assert broken["failures"] == 1
         assert broken["consecutive_failures"] == 1
@@ -222,8 +230,32 @@ class TestHealthRegression:
             monitor.classify(test_x[2:4])  # served while conv1 is skipped
         health = monitor.health()
         self._assert_shape(health)
+        assert health["status"] == "degraded"  # one breaker open, two closed
         conv1 = health["layers"]["conv1"]
         assert conv1["state"] == "open"
         assert conv1["times_opened"] == 1
         assert conv1["skipped_batches"] == 1
         assert health["counts"]["degraded"] == 4
+
+    def test_status_failing_when_every_breaker_is_open(
+        self, fitted_validator, trained_tiny_model
+    ):
+        from repro.testing.faults import FaultPlan
+
+        _, _, _, test_x, _ = trained_tiny_model
+        monitor = RuntimeMonitor(
+            fitted_validator, breaker_threshold=1, breaker_cooldown=3600.0
+        )
+        assert monitor.health()["status"] == "ok"
+        plan = FaultPlan()
+        for layer_validator in fitted_validator.validators:
+            plan.fail_packed_scorer(layer_validator, nth=1, count=-1)
+        with plan.apply():
+            with pytest.warns(Warning):
+                verdicts = monitor.classify(test_x[:2])
+        assert all(v.status == "QUARANTINED" for v in verdicts)
+        health = monitor.health()
+        self._assert_shape(health)
+        assert health["status"] == "failing"
+        for snapshot in health["layers"].values():
+            assert snapshot["state"] == "open"

@@ -20,7 +20,13 @@ from repro.core.validator import DeepValidator, ValidatorConfig
 from repro.nn import Adam, Trainer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import InMemorySpanExporter, ManualClock, Tracer
-from repro.testing.faults import dead_fit_pool, fail_packed_scorer, slow_layer
+from repro.serve import ServeConfig, SupervisorConfig, ValidationServer
+from repro.testing.faults import (
+    dead_fit_pool,
+    fail_packed_scorer,
+    kill_worker,
+    slow_layer,
+)
 from tests.helpers import easy_image_task, make_tiny_model
 
 pytestmark = pytest.mark.obs
@@ -463,3 +469,105 @@ class TestTrainerMetrics:
         assert snap["trainer_epoch_seconds"]["series"][0]["count"] == 2
         epochs = exporter.find("trainer.epoch")
         assert [s.attributes["epoch"] for s in epochs] == [0, 1]
+
+
+class TestServeSupervisionMetrics:
+    """Golden flows for the serving layer's supervision/shedding metrics."""
+
+    def _fitted(self, trained_tiny_model):
+        model, train_x, train_y, test_x, _ = trained_tiny_model
+        config = ValidatorConfig(seed=0, nu=0.2, max_per_class=40)
+        validator = DeepValidator(model, config)
+        validator.fit(train_x, train_y)
+        validator.calibrate_threshold(test_x[:16], test_x[16:32])
+        return validator, test_x
+
+    def test_worker_restart_increments_restart_counter(
+        self, scoped, trained_tiny_model
+    ):
+        import time
+
+        registry, clock = scoped[0], scoped[2]
+        validator, test_x = self._fitted(trained_tiny_model)
+        registry.reset()  # observe serving only, not the fit above
+        server = ValidationServer(
+            RuntimeMonitor(validator),
+            ServeConfig(
+                max_batch=1,
+                max_wait_ms=0.0,
+                workers=1,
+                supervision=SupervisorConfig(poll_interval_s=None),
+            ),
+            clock=clock,
+        )
+        server.start()
+        try:
+            with kill_worker(server, nth=1, count=1):
+                future = server.submit(test_x[0])
+                deadline = time.monotonic() + 30.0
+                while server.supervisor.snapshot()["deaths"] < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                clock.advance(0.06)  # past the restart backoff
+                assert server.supervisor.poll() == 1
+                future.result(timeout=60.0)
+        finally:
+            server.close(timeout=10.0)
+        snap = registry.snapshot()
+        assert (
+            snap["serve_worker_restarts_total"]["series"][0]["value"] == 1.0
+        )
+        outcomes = {
+            s["labels"]["outcome"]: s["value"]
+            for s in snap["serve_requests_total"]["series"]
+        }
+        assert outcomes == {"completed": 1.0}
+        assert "serve_shed_total" not in snap  # nothing was shed
+
+    def test_every_shed_reason_labels_the_shed_counter(
+        self, scoped, trained_tiny_model
+    ):
+        registry = scoped[0]
+        validator, test_x = self._fitted(trained_tiny_model)
+        registry.reset()
+        server = ValidationServer(
+            RuntimeMonitor(validator),
+            ServeConfig(
+                max_batch=1,
+                max_wait_ms=0.0,
+                workers=1,
+                queue_depth=1,
+                latency_slo_ms=10.0,
+                supervision=SupervisorConfig(poll_interval_s=None),
+            ),
+        )
+        # Never started: the first submit stays queued until close drains it.
+        queued = server.submit(test_x[0])
+        assert not queued.done()
+        server.submit(test_x[1])  # queue_depth=1: shed queue_full
+        server._wait_ewma.observe(5.0)  # 5s projected wait >> 10ms SLO
+        server.submit(test_x[2])  # shed slo
+        for _ in range(server.config.supervision.restart_budget):
+            server.supervisor.breaker.record_failure()  # force the budget out
+        server.submit(test_x[3])  # shed breaker
+        server.close(timeout=5.0)  # drains the queued ticket: shed shutdown
+        assert queued.result(timeout=0).status == "OVERLOADED"
+
+        snap = registry.snapshot()
+        sheds = {
+            s["labels"]["reason"]: s["value"]
+            for s in snap["serve_shed_total"]["series"]
+        }
+        assert sheds == {
+            "queue_full": 1.0, "slo": 1.0, "breaker": 1.0, "shutdown": 1.0,
+        }
+        outcomes = {
+            s["labels"]["outcome"]: s["value"]
+            for s in snap["serve_requests_total"]["series"]
+        }
+        assert outcomes == {
+            "overloaded": 1.0,
+            "shed_slo": 1.0,
+            "shed_breaker": 1.0,
+            "shed_shutdown": 1.0,
+        }

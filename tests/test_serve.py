@@ -21,13 +21,22 @@ from repro.obs.tracing import InMemorySpanExporter, ManualClock, Tracer
 from repro.serve import (
     EXPIRED,
     OVERLOADED,
+    SHED_REASONS,
+    Ewma,
     MicroBatcher,
     ResultTimeout,
     ServeConfig,
+    SupervisorConfig,
     ValidationServer,
     VerdictFuture,
 )
-from repro.testing.faults import hang_classify, slow_classify
+from repro.testing.faults import (
+    InjectedWorkerDeath,
+    hang_classify,
+    kill_worker,
+    raise_in_batcher,
+    slow_classify,
+)
 from tests.helpers import easy_image_task, train_tiny_model
 
 pytestmark = pytest.mark.serve
@@ -455,3 +464,366 @@ class TestServeObservability:
         batch_spans = [s for s in exporter.spans if s.name == "serve.batch"]
         assert len(batch_spans) == 1
         assert batch_spans[0].attributes["size"] == 4
+
+
+def _manual_supervision(**overrides):
+    """Supervision with no background poll thread: tests drive poll()."""
+    return SupervisorConfig(poll_interval_s=None, **overrides)
+
+
+def _await(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {message}"
+        time.sleep(0.005)
+
+
+class TestEwma:
+    def test_none_until_first_sample(self):
+        ewma = Ewma(0.5)
+        assert ewma.value is None
+        ewma.observe(4.0)
+        assert ewma.value == 4.0
+
+    def test_folds_with_alpha(self):
+        ewma = Ewma(0.5)
+        ewma.observe(4.0)
+        ewma.observe(0.0)
+        assert ewma.value == 2.0
+        ewma.observe(2.0)
+        assert ewma.value == 2.0
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ValueError):
+            Ewma(alpha)
+
+
+class TestBatcherRequeueDrain:
+    def test_requeue_puts_items_at_the_front_in_order(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=0.0)
+        batcher.offer("c")
+        batcher.requeue(["a", "b"])
+        assert batcher.next_batch() == ["a", "b", "c"]
+
+    def test_requeue_ignores_queue_depth_and_closed_state(self):
+        batcher = MicroBatcher(max_batch=8, max_wait_ms=0.0, queue_depth=1)
+        batcher.offer(1)
+        batcher.close()
+        # A dying worker must be able to return its tickets even when the
+        # queue is nominally full or the server is draining.
+        batcher.requeue([2, 3])
+        assert len(batcher) == 3
+        assert batcher.next_batch() == [2, 3, 1]
+
+    def test_drain_removes_everything(self):
+        batcher = MicroBatcher(max_batch=2, max_wait_ms=0.0)
+        for item in range(5):
+            batcher.offer(item)
+        assert batcher.drain() == [0, 1, 2, 3, 4]
+        assert len(batcher) == 0
+        assert batcher.drain() == []
+
+
+class TestFutureFirstWriterWins:
+    def test_try_resolve_then_try_fail(self):
+        future = VerdictFuture()
+        assert future._try_resolve("first")
+        assert not future._try_resolve("second")
+        assert not future._try_fail(ValueError("late"))
+        assert future.result(timeout=0) == "first"
+
+    def test_try_fail_then_try_resolve(self):
+        future = VerdictFuture()
+        assert future._try_fail(ValueError("boom"))
+        assert not future._try_resolve("late")
+        with pytest.raises(ValueError, match="boom"):
+            future.result(timeout=0)
+
+
+class TestWorkerSupervision:
+    def test_dead_worker_restarts_and_request_completes(
+        self, fitted_validator, stream
+    ):
+        clock = ManualClock()
+        server = ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(
+                max_batch=1,
+                max_wait_ms=0.0,
+                workers=1,
+                supervision=_manual_supervision(),
+            ),
+            clock=clock,
+        )
+        server.start()
+        try:
+            with kill_worker(server, nth=1, count=1) as fault:
+                future = server.submit(stream[0])
+                _await(
+                    lambda: server.supervisor.snapshot()["deaths"] == 1,
+                    message="the injected worker death",
+                )
+                assert fault["kills"] == 1
+                # The orphaned ticket went back to the queue, not lost.
+                assert not future.done()
+                # Backoff gate: a poll at the death instant must NOT
+                # restart yet (backoff_base_s has not elapsed).
+                server.supervisor.poll()
+                assert server.supervisor.snapshot()["restarts"] == 0
+                clock.advance(0.06)  # > backoff_base_s
+                assert server.supervisor.poll() == 1
+                verdict = future.result(timeout=60.0)
+            assert verdict.status in (resilience.VALIDATED, resilience.FLAGGED)
+            snapshot = server.supervisor.snapshot()
+            assert snapshot["deaths"] == snapshot["restarts"] == 1
+            assert "InjectedWorkerDeath" in snapshot["workers"][0]["last_error"]
+            stats = server.stats()
+            assert stats["restarts"] == 1
+            assert stats["worker_errors"] == 1
+            assert stats["completed"] == 1
+        finally:
+            server.close(timeout=10.0)
+
+    def test_batcher_raise_kills_worker_without_losing_tickets(
+        self, fitted_validator, stream
+    ):
+        clock = ManualClock()
+        server = ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(
+                max_batch=1,
+                max_wait_ms=0.0,
+                workers=1,
+                supervision=_manual_supervision(),
+            ),
+            clock=clock,
+        )
+        server.start()
+        try:
+            with raise_in_batcher(server.batcher, nth=1, count=1):
+                _await(
+                    lambda: server.supervisor.snapshot()["deaths"] == 1,
+                    message="the injected batcher death",
+                )
+                future = server.submit(stream[0])
+                clock.advance(0.06)
+                server.supervisor.poll()
+                verdict = future.result(timeout=60.0)
+            assert verdict.status in (resilience.VALIDATED, resilience.FLAGGED)
+        finally:
+            server.close(timeout=10.0)
+
+    def test_restart_budget_trips_breaker_and_sheds_fast(
+        self, fitted_validator, stream
+    ):
+        clock = ManualClock()
+        server = ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(
+                max_batch=1,
+                max_wait_ms=0.0,
+                workers=1,
+                supervision=_manual_supervision(
+                    restart_budget=2, restart_window_s=1_000.0
+                ),
+            ),
+            clock=clock,
+        )
+        server.start()
+        try:
+            with kill_worker(server, nth=1, count=-1) as fault:
+                doomed = server.submit(stream[0])
+                deadline = time.monotonic() + 30.0
+                while server.supervisor.breaker.state != "open":
+                    assert time.monotonic() < deadline
+                    server.supervisor.poll()
+                    clock.advance(0.2)
+                    time.sleep(0.005)
+                assert fault["kills"] >= 2
+                # Fail-fast at the door while the pool cannot serve.
+                shed = server.submit(stream[1]).result(timeout=0)
+                assert shed.status == OVERLOADED
+                assert "restart budget" in shed.reason
+                assert shed.detail == {"supervisor_state": "open"}
+                assert server.stats()["shed_breaker"] == 1
+                assert not server.supervisor.allow_submit()
+                server.close(timeout=5.0)
+            # The poisoned ticket was retried up to the bound, then failed
+            # with the worker's fatal exception — or, if close() won the
+            # race, shed with the structured shutdown verdict.
+            assert doomed.done()
+            try:
+                verdict = doomed.result(timeout=0)
+            except InjectedWorkerDeath:
+                assert server.stats()["failed"] == 1
+            else:
+                assert verdict.status == OVERLOADED
+        finally:
+            server.close(timeout=5.0)
+
+    def test_close_with_dead_worker_resolves_every_queued_future(
+        self, fitted_validator, stream
+    ):
+        clock = ManualClock()
+        server = ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(
+                max_batch=1,
+                max_wait_ms=0.0,
+                workers=1,
+                supervision=_manual_supervision(),
+            ),
+            clock=clock,
+        )
+        server.start()
+        with kill_worker(server, nth=1, count=-1):
+            first = server.submit(stream[0])
+            _await(
+                lambda: server.supervisor.snapshot()["deaths"] == 1,
+                message="the worker death",
+            )
+            # Never polled: the pool is dead, and these can only queue.
+            queued = [server.submit(stream[i]) for i in (1, 2)]
+            start = time.monotonic()
+            server.close(timeout=5.0)
+            assert time.monotonic() - start < 30.0  # close() must not hang
+        for future in (first, *queued):
+            assert future.done()
+            verdict = future.result(timeout=0)
+            assert verdict.status == OVERLOADED
+            assert "closed" in verdict.reason
+        stats = server.stats()
+        assert stats["shed_shutdown"] == 3
+        assert stats["queue_depth"] == 0
+
+    def test_supervision_config_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(restart_budget=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(poll_interval_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(heartbeat_timeout_s=-1.0)
+
+
+class TestAdaptiveShedding:
+    def _server(self, fitted_validator, **config):
+        return ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(supervision=_manual_supervision(), **config),
+        )
+
+    def test_never_sheds_cold(self, fitted_validator, stream):
+        # No worker started, no samples: the shedder has no estimate and
+        # must queue rather than reject on a made-up number.
+        server = self._server(fitted_validator, latency_slo_ms=0.001)
+        assert server._projected_wait_s() is None
+        future = server.submit(stream[0])
+        assert not future.done()
+
+    def test_sheds_when_projection_exceeds_slo(self, fitted_validator, stream):
+        server = self._server(fitted_validator, latency_slo_ms=10.0)
+        server._wait_ewma.observe(5.0)  # 5s observed wait >> 10ms SLO
+        verdict = server.submit(stream[0]).result(timeout=0)
+        assert verdict.status == OVERLOADED
+        assert "SLO" in verdict.reason
+        assert verdict.detail["projected_wait_ms"] == pytest.approx(5_000.0)
+        assert verdict.detail["slo_ms"] == 10.0
+        assert server.stats()["shed_slo"] == 1
+
+    def test_projection_blends_wait_and_backlog(self, fitted_validator):
+        server = self._server(
+            fitted_validator, max_batch=4, workers=2, latency_slo_ms=1_000.0
+        )
+        server._service_ewma.observe(0.8)
+        # Empty queue: one batch ahead of us, split over two workers.
+        assert server._projected_wait_s() == pytest.approx(0.4)
+        server._wait_ewma.observe(1.0)  # observed wait dominates
+        assert server._projected_wait_s() == pytest.approx(1.0)
+
+    def test_static_queue_bound_remains_the_backstop(
+        self, fitted_validator, stream
+    ):
+        server = self._server(
+            fitted_validator, queue_depth=1, latency_slo_ms=10_000.0
+        )
+        server.submit(stream[0])
+        verdict = server.submit(stream[1]).result(timeout=0)
+        assert verdict.status == OVERLOADED
+        assert server.stats()["overloaded"] == 1
+
+    def test_shed_reasons_cover_every_shed_count_key(self):
+        assert set(SHED_REASONS) == {
+            "overloaded", "shed_slo", "shed_breaker", "shed_shutdown",
+        }
+        assert set(SHED_REASONS.values()) == {
+            "queue_full", "slo", "breaker", "shutdown",
+        }
+
+
+class TestDeadlineRecheck:
+    def test_ticket_expiring_during_previous_group_is_not_scored(
+        self, fitted_validator, stream
+    ):
+        # Two dtype groups in one batch; scoring the first advances the
+        # (manual) clock past the second's deadline, so the re-check after
+        # group formation must expire it instead of burning a batch slot.
+        clock = ManualClock()
+        monitor = RuntimeMonitor(fitted_validator)
+        server = ValidationServer(
+            monitor,
+            ServeConfig(
+                max_batch=4,
+                max_wait_ms=10_000.0,
+                workers=1,
+                supervision=_manual_supervision(),
+            ),
+            clock=clock,
+        )
+        with slow_classify(monitor, 1.0, clock=clock):
+            # Four tickets fill max_batch exactly, so the batch flushes on
+            # width (the manual clock never elapses the wait window).
+            first = [
+                server.submit(image.astype(np.float32)) for image in stream[:3]
+            ]
+            late = server.submit(
+                stream[3].astype(np.float64), timeout_ms=50.0
+            )
+            server.start()
+            for future in first:
+                assert future.result(timeout=60.0).status in (
+                    resilience.VALIDATED,
+                    resilience.FLAGGED,
+                )
+            assert late.result(timeout=60.0).status == EXPIRED
+            server.close(timeout=10.0)
+        stats = server.stats()
+        assert stats["completed"] == 3
+        assert stats["expired"] == 1
+
+
+class TestServeHealth:
+    def test_health_combines_server_and_monitor(self, fitted_validator, stream):
+        with ValidationServer(
+            RuntimeMonitor(fitted_validator),
+            ServeConfig(
+                max_batch=4,
+                max_wait_ms=0.0,
+                latency_slo_ms=5_000.0,
+                supervision=_manual_supervision(),
+            ),
+        ) as server:
+            server.classify(stream[0], timeout=60.0)
+            health = server.health()
+            assert set(health) == {"server", "monitor"}
+            assert set(health["server"]) == {"counts", "supervisor", "shedding"}
+            supervisor = health["server"]["supervisor"]
+            assert supervisor["live_workers"] == 1
+            assert supervisor["deaths"] == supervisor["restarts"] == 0
+            assert supervisor["state"] == "closed"
+            shedding = health["server"]["shedding"]
+            assert shedding["latency_slo_ms"] == 5_000.0
+            assert shedding["ewma_wait_s"] is not None
+            assert shedding["ewma_service_s"] is not None
+            assert shedding["projected_wait_s"] is not None
+            assert health["monitor"]["status"] == "ok"

@@ -8,7 +8,11 @@ monitor, recorded to ``BENCH_serve.json`` at the repository root:
   sweep per request);
 * **served** — the same 64 images submitted one-by-one to a
   :class:`~repro.serve.server.ValidationServer` (``max_batch=32``, one
-  worker), which coalesces them into packed batches before scoring.
+  worker), which coalesces them into packed batches before scoring. The
+  served monitor comes from a packed + store-loaded
+  :class:`~repro.core.bundle.ValidatorBundle`, and the record embeds the
+  active bundle version + fit fingerprint so a perf trajectory point is
+  attributable to the exact deployed artifact.
 
 The asserted bar is ``>= 3x`` images/sec for the served path. Run with::
 
@@ -16,6 +20,7 @@ The asserted bar is ``>= 3x`` images/sec for the served path. Run with::
 """
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -23,7 +28,13 @@ import numpy as np
 import pytest
 
 from repro import obs
-from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
+from repro.core import (
+    BundleStore,
+    DeepValidator,
+    RuntimeMonitor,
+    ValidatorBundle,
+    ValidatorConfig,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.serve import ServeConfig, ValidationServer
 
@@ -55,13 +66,22 @@ def _fitted_validator():
     return validator
 
 
-def _serving() -> dict:
+def _serving() -> tuple[dict, dict]:
     from tests.helpers import easy_image_task
 
     validator = _fitted_validator()
     engine = validator.engine()
     images, _ = easy_image_task(STREAM, seed=99)
     monitor = RuntimeMonitor(validator)
+
+    # The served path deploys the fit the way production does: packed into
+    # a versioned bundle, loaded back through the store's integrity and
+    # validation gates, and served under that version.
+    with tempfile.TemporaryDirectory() as root:
+        store = BundleStore(root)
+        store.save(ValidatorBundle.pack(validator, version=1, name="bench"))
+        loaded = store.load("bench", 1)
+    served_engine = loaded.validator.engine()
 
     def per_request():
         # Fresh cache each repeat: identical request bytes would otherwise
@@ -71,15 +91,16 @@ def _serving() -> dict:
             monitor.classify(images[i : i + 1])
 
     def served():
-        engine.cache.clear()
+        served_engine.cache.clear()
         with ValidationServer(
-            RuntimeMonitor(validator),
+            loaded.monitor(),
             ServeConfig(
                 max_batch=MAX_BATCH,
                 max_wait_ms=50.0,
                 queue_depth=2 * STREAM,
                 workers=WORKERS,
             ),
+            bundle_version=loaded.manifest.key,
         ) as server:
             futures = [server.submit(image) for image in images]
             for future in futures:
@@ -88,12 +109,19 @@ def _serving() -> dict:
 
     per_request_sec = _best_seconds(per_request, repeats=2)
     served_sec = _best_seconds(served, repeats=3)
-    return {
+    serving = {
         "validated_layers": len(validator.validators),
         "per_request_images_per_sec": round(STREAM / per_request_sec, 1),
         "served_images_per_sec": round(STREAM / served_sec, 1),
         "speedup": round(per_request_sec / served_sec, 2),
     }
+    bundle_info = {
+        "name": loaded.manifest.name,
+        "version": loaded.manifest.version,
+        "key": loaded.manifest.key,
+        "fingerprint": loaded.manifest.fingerprint,
+    }
+    return serving, bundle_info
 
 
 def _metrics_summary(snapshot: dict) -> dict:
@@ -142,12 +170,13 @@ def _metrics_summary(snapshot: dict) -> dict:
 def test_micro_batched_serving_speedup(capsys):
     registry = MetricsRegistry()
     with obs.use(registry=registry):
-        serving = _serving()
+        serving, bundle_info = _serving()
     record = {
         "benchmark": "serve-micro-batching",
         "stream": STREAM,
         "max_batch": MAX_BATCH,
         "workers": WORKERS,
+        "bundle": bundle_info,
         "serving": serving,
         "metrics": _metrics_summary(registry.snapshot()),
     }

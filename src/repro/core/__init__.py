@@ -44,6 +44,14 @@ from repro.core.selection import (
     smallest_subset_reaching,
 )
 from repro.core.drift import DiscrepancyDriftMonitor, DriftState
+from repro.core.bundle import (
+    BundleError,
+    BundleIntegrityError,
+    BundleManifest,
+    BundleStore,
+    BundleValidationError,
+    ValidatorBundle,
+)
 from repro.core.calibration import (
     IsotonicCalibrator,
     PlattCalibrator,
@@ -81,6 +89,12 @@ __all__ = [
     "smallest_subset_reaching",
     "DiscrepancyDriftMonitor",
     "DriftState",
+    "BundleError",
+    "BundleIntegrityError",
+    "BundleManifest",
+    "BundleStore",
+    "BundleValidationError",
+    "ValidatorBundle",
     "PlattCalibrator",
     "IsotonicCalibrator",
     "expected_calibration_error",

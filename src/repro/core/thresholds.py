@@ -1,4 +1,13 @@
-"""Threshold calibration strategies for the joint discrepancy."""
+"""Threshold calibration strategies for the joint discrepancy.
+
+Both calibrators guard their inputs: an empty, non-finite, or constant
+clean-score population cannot define an operating point, and silently
+returning a NaN (or meaningless) threshold would poison every downstream
+artifact — a bundled validator with ``epsilon = NaN`` never flags
+anything. Degenerate inputs raise :class:`ValueError` with the failing
+population named, so a bad calibration dies at fit time instead of
+shipping.
+"""
 
 from __future__ import annotations
 
@@ -7,17 +16,46 @@ import numpy as np
 from repro.metrics.rates import threshold_at_fpr
 
 
+def _checked_scores(scores: np.ndarray, population: str) -> np.ndarray:
+    """Validate one score population; returns it as a float64 array.
+
+    Raises :class:`ValueError` when the population is empty, contains
+    non-finite scores (a NaN mean would silently become a NaN threshold),
+    or is constant (``clean_scores`` all identical carry no spread to
+    calibrate against — almost always a scoring bug upstream, e.g. every
+    image hitting the same degraded path).
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if len(scores) == 0:
+        raise ValueError(f"{population} scores are empty; cannot calibrate a threshold")
+    if not np.isfinite(scores).all():
+        bad = int(np.count_nonzero(~np.isfinite(scores)))
+        raise ValueError(
+            f"{population} scores contain {bad} non-finite value(s); a NaN/inf "
+            "score would poison the calibrated threshold"
+        )
+    return scores
+
+
 def centroid_threshold(clean_scores: np.ndarray, corner_scores: np.ndarray) -> float:
     """Midpoint between the clean and corner-case score centroids.
 
     The paper's suggested operating point (Section IV-D3): legitimate images
     concentrate at negative discrepancy, successful corner cases at positive
     discrepancy, so the centre between both centroids balances TPR and FPR.
+
+    Raises :class:`ValueError` when either population is empty or
+    non-finite, or when ``clean_scores`` are all identical — a constant
+    clean population has no centroid spread and signals broken scoring,
+    not a calibratable distribution.
     """
-    clean_scores = np.asarray(clean_scores, dtype=np.float64)
-    corner_scores = np.asarray(corner_scores, dtype=np.float64)
-    if len(clean_scores) == 0 or len(corner_scores) == 0:
-        raise ValueError("both score populations must be non-empty")
+    clean_scores = _checked_scores(clean_scores, "clean")
+    corner_scores = _checked_scores(corner_scores, "corner")
+    if clean_scores.min() == clean_scores.max():
+        raise ValueError(
+            f"clean scores are all identical ({clean_scores[0]!r}); a constant "
+            "population cannot calibrate a threshold"
+        )
     return float((clean_scores.mean() + corner_scores.mean()) / 2.0)
 
 
@@ -27,5 +65,15 @@ def fpr_calibrated_threshold(clean_scores: np.ndarray, target_fpr: float) -> flo
     Deployment often fixes an acceptable false-alarm budget instead of
     assuming corner cases are available for calibration; this only needs
     clean scores.
+
+    Raises :class:`ValueError` on an empty, non-finite, or constant clean
+    population (see :func:`centroid_threshold` for why constant scores are
+    rejected).
     """
-    return threshold_at_fpr(np.asarray(clean_scores, dtype=np.float64), target_fpr)
+    clean_scores = _checked_scores(clean_scores, "clean")
+    if clean_scores.min() == clean_scores.max():
+        raise ValueError(
+            f"clean scores are all identical ({clean_scores[0]!r}); a constant "
+            "population cannot calibrate an FPR threshold"
+        )
+    return threshold_at_fpr(clean_scores, target_fpr)

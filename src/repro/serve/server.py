@@ -42,6 +42,15 @@ the same batch. Numerical note: float32 BLAS kernels differ across batch
 singleton calls), so results are exactly reproducible for a given batch
 partition, and agree to tight tolerance across partitions — see
 ``docs/serving.md``.
+
+The serving monitor is **hot-swappable**: :meth:`ValidationServer.swap_monitor`
+atomically replaces ``self.monitor`` between batches. Workers capture the
+monitor reference once per scoring group, so every ticket in a group is
+scored wholly by one monitor generation — never a half-swapped mixture —
+and the queue keeps flowing through the swap (no drain, no dropped
+tickets). :class:`~repro.serve.rollout.RolloutController` drives this to
+roll validator bundles with shadow scoring and automatic rollback; see
+``docs/rollout.md``.
 """
 
 from __future__ import annotations
@@ -179,8 +188,16 @@ class ValidationServer:
         monitor: RuntimeMonitor,
         config: ServeConfig | None = None,
         clock: Callable[[], float] | None = None,
+        bundle_version: str | None = None,
     ) -> None:
         self.monitor = monitor
+        #: Identity of the bundle the serving monitor came from (``None``
+        #: for an unbundled monitor); kept in step by :meth:`swap_monitor`.
+        self.bundle_version = bundle_version
+        #: The attached :class:`~repro.serve.rollout.RolloutController`,
+        #: or ``None``; workers call its ``observe_group`` hook after each
+        #: scoring group resolves (see :meth:`attach_rollout`).
+        self.rollout = None
         self.config = config if config is not None else ServeConfig()
         self._clock = clock if clock is not None else time.monotonic
         self.batcher = MicroBatcher(
@@ -257,6 +274,36 @@ class ValidationServer:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- hot swap --------------------------------------------------------------
+
+    def swap_monitor(
+        self, monitor: RuntimeMonitor, bundle_version: str | None = None
+    ) -> RuntimeMonitor:
+        """Atomically replace the serving monitor; returns the previous one.
+
+        The swap is a single reference assignment under the server lock —
+        workers capture ``self.monitor`` once per scoring group, so every
+        in-flight group finishes on the generation it started with and
+        the very next group picks up the new monitor. Nothing is drained
+        and no ticket is dropped or re-scored. ``bundle_version`` records
+        the identity of the bundle the new monitor came from.
+        """
+        with self._lock:
+            previous = self.monitor
+            self.monitor = monitor
+            self.bundle_version = bundle_version
+        return previous
+
+    def attach_rollout(self, controller) -> None:
+        """Register the rollout controller whose ``observe_group`` hook
+        workers invoke after each scoring group (at most one per server)."""
+        with self._lock:
+            if self.rollout is not None and self.rollout is not controller:
+                raise RuntimeError(
+                    "a different RolloutController is already attached"
+                )
+            self.rollout = controller
 
     # -- request side ----------------------------------------------------------
 
@@ -523,9 +570,14 @@ class ValidationServer:
                 continue
             images = np.stack([ticket.image for ticket in fresh])
             started = self._clock()
+            # Capture the monitor reference exactly once per scoring
+            # group: a concurrent swap_monitor takes effect at the next
+            # group boundary, so no ticket is ever scored by a
+            # half-swapped mixture of generations.
+            monitor = self.monitor
             with obs.span("serve.batch", size=len(fresh)):
                 _batch_size_histogram().observe(float(len(fresh)))
-                verdicts = self.monitor.classify(images)
+                verdicts = monitor.classify(images)
             self._service_ewma.observe(max(0.0, self._clock() - started))
             # One lock hold for the whole group's tally (not one per
             # ticket); futures resolve outside the lock so waiters never
@@ -535,6 +587,11 @@ class ValidationServer:
             _requests_counter().labels(outcome="completed").inc(len(fresh))
             for ticket, verdict in zip(fresh, verdicts):
                 ticket.future._try_resolve(verdict)
+            controller = self.rollout
+            if controller is not None:
+                # After the futures resolve, so shadow scoring never adds
+                # to request latency; the hook is contractually non-raising.
+                controller.observe_group(images, verdicts, monitor)
 
     # -- observability ---------------------------------------------------------
 
@@ -543,6 +600,7 @@ class ValidationServer:
         with self._lock:
             counts = dict(self._counts)
         counts["queue_depth"] = len(self.batcher)
+        counts["bundle_version"] = self.bundle_version
         supervisor = self.supervisor.snapshot()
         counts["live_workers"] = supervisor["live_workers"]
         counts["restarts"] = supervisor["restarts"]
@@ -568,6 +626,9 @@ class ValidationServer:
                     "ewma_service_s": self._service_ewma.value,
                     "projected_wait_s": self._projected_wait_s(),
                 },
+                "rollout": (
+                    None if self.rollout is None else self.rollout.snapshot()
+                ),
             },
             "monitor": self.monitor.health(),
         }

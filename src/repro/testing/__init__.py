@@ -18,6 +18,7 @@ from repro.testing.faults import (
     InjectedCrashError,
     InjectedWorkerDeath,
     corrupt_artifact,
+    corrupt_bundle,
     crash_at_epoch,
     crash_at_task,
     dead_fit_pool,
@@ -40,6 +41,7 @@ __all__ = [
     "SoakInvariantError",
     "SoakReport",
     "corrupt_artifact",
+    "corrupt_bundle",
     "crash_at_epoch",
     "crash_at_task",
     "dead_fit_pool",

@@ -66,6 +66,27 @@ class _TimedFault:
 
 
 @dataclass
+class _TimedEvent:
+    """One scripted action fired once when the soak clock reaches ``at``.
+
+    Unlike a :class:`_TimedFault` (a context-managed window), an event is
+    a plain callable — e.g. ``controller.begin_shadow(...)`` or
+    ``controller.promote()`` for mid-soak rollout scripts. Its return
+    value lands in ``result``; an exception is captured in ``error`` (and
+    the timeline) rather than raised into the soak driver, so a scripted
+    action that is *expected* to be refused (a latched bundle, a corrupt
+    frame) is an observable outcome, not a crashed soak.
+    """
+
+    at: float
+    label: str
+    action: Callable[[], Any]
+    fired: bool = False
+    result: Any = None
+    error: BaseException | None = None
+
+
+@dataclass
 class SoakReport:
     """What a completed soak run observed (returned by :func:`run_soak`)."""
 
@@ -99,6 +120,7 @@ class ChaosPlan:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._faults: list[_TimedFault] = []
+        self._events: list[_TimedEvent] = []
 
     # -- builders --------------------------------------------------------------
 
@@ -218,19 +240,38 @@ class ChaosPlan:
             ),
         )
 
+    def at(self, time: float, label: str, action: Callable[[], Any]) -> "ChaosPlan":
+        """Fire ``action`` once when the soak clock reaches ``time``.
+
+        The hook mid-soak rollout tests script ``begin_shadow`` /
+        ``promote`` / ``rollback`` through. The action's return value (or
+        captured exception) is recorded on the event — read it back with
+        :meth:`events` after the soak.
+        """
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        self._events.append(_TimedEvent(at=time, label=label, action=action))
+        return self
+
+    def events(self) -> list[_TimedEvent]:
+        """The scripted events, in registration order (post-soak: fired
+        flags, results, and captured errors filled in)."""
+        return list(self._events)
+
     # -- introspection ---------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._faults)
+        return len(self._faults) + len(self._events)
 
     def describe(self) -> list[str]:
-        """Human-readable fault windows, in registration order."""
-        return [
+        """Human-readable fault windows and events, in registration order."""
+        windows = [
             f"[{fault.start:g}, "
             f"{'end' if fault.stop is None else format(fault.stop, 'g')}) "
             f"{fault.label}"
             for fault in self._faults
         ]
+        return windows + [f"@{event.at:g} {event.label}" for event in self._events]
 
     def injected_deaths(self) -> int:
         """Worker deaths the injectors actually fired (post-soak)."""
@@ -244,7 +285,8 @@ class ChaosPlan:
     # -- timeline engine (run_soak's internals) --------------------------------
 
     def _sync(self, now: float, timeline: list) -> None:
-        """Arm faults whose window contains ``now``; disarm elapsed ones."""
+        """Arm faults whose window contains ``now``; disarm elapsed ones;
+        fire due events exactly once."""
         for fault in self._faults:
             if fault.armed and fault.stop is not None and now >= fault.stop:
                 self._disarm(fault, now, timeline)
@@ -257,6 +299,19 @@ class ChaosPlan:
                 entered = fault.cm.__enter__()
                 fault.stats = entered if isinstance(entered, dict) else None
                 timeline.append(f"t={now:g} arm {fault.label}")
+        for event in self._events:
+            if not event.fired and now >= event.at:
+                event.fired = True
+                try:
+                    event.result = event.action()
+                except BaseException as exc:  # noqa: BLE001 — recorded, not raised
+                    event.error = exc
+                    timeline.append(
+                        f"t={now:g} event {event.label} raised "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    timeline.append(f"t={now:g} event {event.label}")
 
     def _disarm(self, fault: _TimedFault, now: float, timeline: list) -> None:
         cm, fault.cm = fault.cm, None

@@ -15,6 +15,9 @@ The four fault classes mirror the resilience layer's threat model:
 * :func:`corrupt_artifact` — storage rot: a cached pickle is bit-flipped
   or truncated on disk (optionally with its checksum sidecar refreshed,
   to exercise the unpickling-error path rather than the checksum path);
+* :func:`corrupt_bundle` — the same rot on a saved validator bundle's
+  self-verifying frame, exercising the rollout layer's integrity
+  guardrail (a corrupt bundle must be refused and latched, never served);
 * :func:`fail_packed_scorer` — a scorer that starts raising: the packed
   batched scorer of one layer validator fails on chosen call numbers;
 * :func:`slow_layer` — a scorer that gets slow: one layer validator's
@@ -149,6 +152,50 @@ def corrupt_artifact(
             sidecar.write_bytes(original_sidecar)
         elif sidecar.exists():
             sidecar.unlink()
+
+
+@contextlib.contextmanager
+def corrupt_bundle(
+    store,
+    name: str,
+    version: int,
+    mode: str = "bitflip",
+    seed: int = 0,
+) -> Iterator[None]:
+    """Corrupt a saved validator bundle on disk, restoring it on exit.
+
+    Operates on a :class:`~repro.core.bundle.BundleStore` entry — a single
+    self-verifying checkpoint frame (length + sha256 + pickle).
+    ``mode="bitflip"`` flips one bit at a seed-determined offset *past*
+    the 40-byte frame header, so the frame parses but its digest check
+    fails; ``mode="truncate"`` cuts the file in half (an interrupted
+    copy). Either way :meth:`BundleStore.load` must raise
+    :class:`~repro.core.bundle.BundleIntegrityError` and quarantine the
+    entry. The original bytes are restored on exit even if the entry was
+    quarantined in between.
+    """
+    if mode not in {"bitflip", "truncate"}:
+        raise ValueError(f"mode must be 'bitflip' or 'truncate', got {mode!r}")
+    path = store.path_for(name, version)
+    original = path.read_bytes()
+
+    payload = bytearray(original)
+    if mode == "bitflip":
+        rng = np.random.default_rng(seed)
+        # The first 40 bytes are the frame header (length + digest); a
+        # flip there is caught trivially. Flip inside the pickled payload
+        # so the digest check has to do the catching.
+        offset = int(rng.integers(40, max(41, len(payload))))
+        payload[offset] ^= 1 << int(rng.integers(0, 8))
+    else:
+        payload = payload[: max(1, len(payload) // 2)]
+    path.write_bytes(bytes(payload))
+    try:
+        yield
+    finally:
+        # A load in between may have quarantined (moved) the entry;
+        # write_bytes recreates the file at its canonical path either way.
+        path.write_bytes(original)
 
 
 # -- scorer faults -------------------------------------------------------------

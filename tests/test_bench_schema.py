@@ -10,6 +10,7 @@ unchecked.
 """
 
 import json
+import re
 from pathlib import Path
 
 import pytest
@@ -94,12 +95,22 @@ class TestServeBenchRecord:
             "stream",
             "max_batch",
             "workers",
+            "bundle",
             "serving",
             "metrics",
         }
         assert record["benchmark"] == "serve-micro-batching"
         for key in ("stream", "max_batch", "workers"):
             assert isinstance(record[key], int)
+
+    def test_bundle_section(self):
+        # The perf point is attributable to the exact deployed artifact:
+        # the served monitor came from a versioned, fingerprinted bundle.
+        bundle = _load("BENCH_serve.json")["bundle"]
+        assert set(bundle) == {"name", "version", "key", "fingerprint"}
+        assert isinstance(bundle["version"], int) and bundle["version"] >= 1
+        assert bundle["key"] == f"{bundle['name']}@v{bundle['version']}"
+        assert re.fullmatch(r"[0-9a-f]{64}", bundle["fingerprint"])
 
     def test_measurement_section(self):
         serving = _load("BENCH_serve.json")["serving"]

@@ -1,0 +1,197 @@
+"""Tests for versioned validator bundles and the bundle store.
+
+The bundle layer is the deployment gate: everything that would make a
+refit unsafe to serve — payload/manifest divergence, storage rot, NaN
+thresholds, unfitted layers, unusable contributions — must be refused at
+pack, save, or load time, never discovered in production verdicts.
+"""
+
+import copy
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BundleError,
+    BundleIntegrityError,
+    BundleStore,
+    BundleValidationError,
+    DeepValidator,
+    RuntimeMonitor,
+    ValidatorBundle,
+    ValidatorConfig,
+)
+from repro.core.bundle import _fingerprint
+from repro.testing import corrupt_bundle
+from tests.helpers import easy_image_task, train_tiny_model
+
+pytestmark = pytest.mark.rollout
+
+
+@pytest.fixture(scope="module")
+def trained_tiny_model():
+    return train_tiny_model()
+
+
+@pytest.fixture(scope="module")
+def fitted_validator(trained_tiny_model):
+    model, train_x, train_y, test_x, _ = trained_tiny_model
+    validator = DeepValidator(model, ValidatorConfig(nu=0.15, max_per_class=60))
+    validator.fit(train_x, train_y)
+    noise = np.random.default_rng(0).random((40, 1, 12, 12))
+    validator.calibrate_threshold(test_x[:40], noise)
+    return validator
+
+
+@pytest.fixture(scope="module")
+def bundle(fitted_validator):
+    return ValidatorBundle.pack(fitted_validator, version=1, name="tiny")
+
+
+class TestPack:
+    def test_manifest_mirrors_the_validator(self, fitted_validator, bundle):
+        manifest = bundle.manifest
+        assert manifest.name == "tiny"
+        assert manifest.version == 1
+        assert manifest.key == "tiny@v1"
+        assert manifest.epsilon == float(fitted_validator.epsilon)
+        assert manifest.combiner == fitted_validator.config.combiner
+        assert manifest.layer_names == tuple(
+            v.layer_name for v in fitted_validator.validators
+        )
+        assert manifest.layer_contributions == tuple(
+            float(c) for c in fitted_validator.layer_contributions
+        )
+        assert (
+            manifest.correctly_classified
+            == fitted_validator.fit_summary.correctly_classified
+        )
+
+    def test_fingerprint_is_sha256_of_the_payload(self, bundle):
+        assert bundle.manifest.fingerprint == _fingerprint(bundle.payload)
+        assert len(bundle.manifest.fingerprint) == 64
+
+    def test_same_fit_packs_the_same_fingerprint(self, fitted_validator, bundle):
+        again = ValidatorBundle.pack(fitted_validator, version=2, name="tiny")
+        # Same fitted artifact, different version: identical fit fingerprint.
+        assert again.manifest.fingerprint == bundle.manifest.fingerprint
+
+    def test_version_and_name_validation(self, fitted_validator):
+        with pytest.raises(ValueError):
+            ValidatorBundle.pack(fitted_validator, version=0)
+        with pytest.raises(ValueError):
+            ValidatorBundle.pack(fitted_validator, version=1, name="bad name!")
+
+    def test_nan_threshold_refused_at_pack(self, fitted_validator):
+        poisoned = copy.copy(fitted_validator)
+        poisoned.epsilon = float("nan")
+        with pytest.raises(BundleValidationError, match="non-finite"):
+            ValidatorBundle.pack(poisoned, version=1)
+
+    def test_unfitted_validator_refused_at_pack(self, trained_tiny_model):
+        model = trained_tiny_model[0]
+        with pytest.raises(BundleValidationError, match="no fitted layers"):
+            ValidatorBundle.pack(DeepValidator(model), version=1)
+
+    def test_broken_contributions_refused_at_pack(self, fitted_validator):
+        poisoned = copy.copy(fitted_validator)
+        poisoned.layer_contributions = np.array([np.nan, 1.0, 1.0])
+        with pytest.raises(BundleValidationError, match="contributions"):
+            ValidatorBundle.pack(poisoned, version=1)
+
+
+class TestVerify:
+    def test_tampered_payload_fails_integrity(self, bundle):
+        tampered = ValidatorBundle(bundle.manifest, bundle.payload + b"\x00")
+        with pytest.raises(BundleIntegrityError, match="fingerprint"):
+            tampered.verify()
+
+    def test_manifest_epsilon_drift_fails_integrity(self, bundle):
+        manifest = dataclasses.replace(bundle.manifest, epsilon=999.0)
+        drifted = ValidatorBundle(manifest, bundle.payload)
+        drifted.manifest = dataclasses.replace(
+            manifest, fingerprint=_fingerprint(bundle.payload)
+        )
+        with pytest.raises(BundleIntegrityError, match="epsilon"):
+            drifted.verify()
+
+    def test_manifest_layer_drift_fails_integrity(self, bundle):
+        manifest = dataclasses.replace(bundle.manifest, layer_names=("ghost",))
+        drifted = ValidatorBundle(manifest, bundle.payload)
+        with pytest.raises(BundleIntegrityError, match="layers"):
+            drifted.verify()
+
+    def test_packed_bundle_round_trips_scoring(self, fitted_validator, bundle):
+        # The unpickled payload scores bit-identically to the original
+        # fitted validator (reference per-class path, float64 end to end).
+        images, _ = easy_image_task(6, seed=3)
+        reloaded = pickle.loads(bundle.payload)
+        ref_pred, ref_d = fitted_validator.discrepancies(images)
+        got_pred, got_d = reloaded.discrepancies(images)
+        np.testing.assert_array_equal(got_pred, ref_pred)
+        np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_monitor_convenience_builds_over_the_bundle(self, bundle):
+        monitor = bundle.monitor()
+        assert isinstance(monitor, RuntimeMonitor)
+        assert monitor.validator is bundle.validator
+
+
+class TestStore:
+    def test_save_load_round_trip(self, bundle, tmp_path):
+        store = BundleStore(tmp_path)
+        path = store.save(bundle)
+        assert path.name == "bundle-tiny-v1.ckpt"
+        loaded = store.load("tiny", 1)
+        assert loaded.manifest == bundle.manifest
+        assert loaded.payload == bundle.payload
+
+    def test_bundles_are_immutable(self, bundle, tmp_path):
+        store = BundleStore(tmp_path)
+        store.save(bundle)
+        with pytest.raises(BundleError, match="immutable"):
+            store.save(bundle)
+
+    def test_versions_and_latest(self, fitted_validator, bundle, tmp_path):
+        store = BundleStore(tmp_path)
+        store.save(bundle)
+        store.save(ValidatorBundle.pack(fitted_validator, version=3, name="tiny"))
+        store.save(ValidatorBundle.pack(fitted_validator, version=1, name="other"))
+        assert store.versions("tiny") == [1, 3]
+        assert store.latest("tiny").manifest.version == 3
+        assert store.latest("absent") is None
+
+    def test_missing_bundle_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            BundleStore(tmp_path).load("tiny", 1)
+
+    @pytest.mark.parametrize("mode", ["bitflip", "truncate"])
+    def test_corrupt_frame_is_refused_and_quarantined(self, bundle, tmp_path, mode):
+        store = BundleStore(tmp_path)
+        store.save(bundle)
+        with corrupt_bundle(store, "tiny", 1, mode=mode):
+            with pytest.raises(BundleIntegrityError):
+                store.load("tiny", 1)
+            # The store quarantined the corrupt frame for post-mortem.
+            assert not store.exists("tiny", 1)
+            assert list((tmp_path / ".quarantine").iterdir())
+        # The injector restored the original bytes: loadable again.
+        assert store.load("tiny", 1).manifest == bundle.manifest
+
+    def test_poisoned_entry_is_refused_at_load(self, bundle, tmp_path):
+        # An intact frame whose content is not a bundle (wrong schema)
+        # must fail as an integrity error, not unpickle into the rollout.
+        store = BundleStore(tmp_path)
+        store.store.save(store.key_for("tiny", 1), {"surprise": True})
+        with pytest.raises(BundleIntegrityError, match="not a validator bundle"):
+            store.load("tiny", 1)
+
+    def test_misfiled_bundle_is_refused_at_load(self, bundle, tmp_path):
+        # A bundle copied under the wrong key must not impersonate it.
+        store = BundleStore(tmp_path)
+        state = {"manifest": dataclasses.asdict(bundle.manifest), "payload": bundle.payload}
+        store.store.save(store.key_for("tiny", 7), state)
+        with pytest.raises(BundleIntegrityError, match="identifies itself"):
+            store.load("tiny", 7)

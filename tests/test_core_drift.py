@@ -1,5 +1,7 @@
 """Tests for the discrepancy drift monitor."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -75,6 +77,64 @@ class TestStreaming:
         second = monitor.observe(0.0).level
         # EWMA moves halfway toward the observation each step.
         assert abs(second) < abs(start) or second == pytest.approx(start / 2, abs=0.3)
+
+    def test_observe_batch_is_bit_identical_to_serial_observes(self):
+        # The vectorized lfilter path must be indistinguishable from the
+        # one-at-a-time recurrence — levels, counts, and alarm flags.
+        batched, rng = make_calibrated(seed=7)
+        serial, _ = make_calibrated(seed=7)
+        values = rng.normal(-0.5, 0.8, size=137)
+        batch_states = batched.observe_batch(values)
+        serial_states = [serial.observe(value) for value in values]
+        for got, ref in zip(batch_states, serial_states):
+            assert got.level == ref.level
+            assert got.observations == ref.observations
+            assert got.alarming == ref.alarming
+        assert batched.observe(0.0).level == serial.observe(0.0).level
+
+    def test_observe_batch_empty_is_a_no_op(self):
+        monitor, _ = make_calibrated()
+        before = monitor.observe(0.0)
+        assert monitor.observe_batch(np.array([])) == []
+        assert monitor.observe(0.0).observations == before.observations + 1
+
+    def test_calibrated_property(self):
+        monitor = DiscrepancyDriftMonitor()
+        assert not monitor.calibrated
+        monitor.calibrate(np.array([0.0, 1.0]))
+        assert monitor.calibrated
+
+    def test_concurrent_observers_conserve_the_observation_count(self):
+        # Rollout shadow scoring feeds the monitor from several serve
+        # workers at once; interleaved observes must never lose a count
+        # or corrupt the level into NaN.
+        monitor, rng = make_calibrated()
+        per_thread, n_threads = 200, 6
+        chunks = rng.normal(-1.0, 0.3, size=(n_threads, per_thread))
+        errors = []
+
+        def feed(chunk):
+            def run():
+                try:
+                    for lo in range(0, per_thread, 20):
+                        monitor.observe_batch(chunk[lo : lo + 20])
+                except BaseException as exc:  # noqa: BLE001 — reraised below
+                    errors.append(exc)
+
+            return run
+
+        threads = [
+            threading.Thread(target=feed(chunks[t])) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+        assert not errors
+        final = monitor.observe(-1.0)
+        assert final.observations == n_threads * per_thread + 1
+        assert np.isfinite(final.level)
 
 
 class TestIntegration:

@@ -183,3 +183,27 @@ class TestThresholds:
         clean = np.linspace(0, 1, 100)
         threshold = fpr_calibrated_threshold(clean, 0.05)
         assert (clean >= threshold).mean() <= 0.05
+
+    def test_fpr_empty_clean_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            fpr_calibrated_threshold(np.array([]), 0.05)
+
+    def test_all_identical_clean_scores_rejected(self):
+        # A constant clean population carries no spread to calibrate
+        # against; both calibrators must refuse it instead of shipping a
+        # meaningless operating point.
+        constant = np.full(50, 0.25)
+        with pytest.raises(ValueError, match="all identical"):
+            centroid_threshold(constant, np.array([3.0, 5.0]))
+        with pytest.raises(ValueError, match="all identical"):
+            fpr_calibrated_threshold(constant, 0.05)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_scores_rejected(self, bad):
+        poisoned = np.array([0.1, bad, 0.3])
+        with pytest.raises(ValueError, match="non-finite"):
+            centroid_threshold(poisoned, np.array([3.0, 5.0]))
+        with pytest.raises(ValueError, match="non-finite"):
+            centroid_threshold(np.array([-1.0, -3.0]), poisoned)
+        with pytest.raises(ValueError, match="non-finite"):
+            fpr_calibrated_threshold(poisoned, 0.05)

@@ -59,5 +59,14 @@ def test_every_registered_marker_is_used():
 def test_expected_tier2_markers_exist():
     # The documented tier-2 entry points; removing one is a breaking
     # change to the CI contract, not a cleanup.
-    expected = {"slow", "bench", "faults", "checkpoint", "obs", "serve", "chaos"}
+    expected = {
+        "slow",
+        "bench",
+        "faults",
+        "checkpoint",
+        "obs",
+        "serve",
+        "chaos",
+        "rollout",
+    }
     assert expected <= _registered_markers()

@@ -816,7 +816,11 @@ class TestServeHealth:
             server.classify(stream[0], timeout=60.0)
             health = server.health()
             assert set(health) == {"server", "monitor"}
-            assert set(health["server"]) == {"counts", "supervisor", "shedding"}
+            assert set(health["server"]) == {
+                "counts", "supervisor", "shedding", "rollout",
+            }
+            # No controller attached: the rollout slot reports None.
+            assert health["server"]["rollout"] is None
             supervisor = health["server"]["supervisor"]
             assert supervisor["live_workers"] == 1
             assert supervisor["deaths"] == supervisor["restarts"] == 0

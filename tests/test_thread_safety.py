@@ -12,7 +12,9 @@ profile) so the interleavings vary across seeds without flaky timing
 assumptions: every assertion is about *conservation*, not ordering.
 """
 
+import pickle
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -22,6 +24,7 @@ from hypothesis import strategies as st
 from repro import obs
 from repro.core import DeepValidator, RuntimeMonitor, ValidatorConfig
 from repro.obs.metrics import MetricsRegistry
+from repro.serve import ServeConfig, ValidationServer
 from repro.utils.cache import LRUCache
 from repro.testing.faults import fail_packed_scorer
 from tests.helpers import easy_image_task, train_tiny_model
@@ -194,6 +197,113 @@ class TestMonitorThreadSafety:
         for position in positions:
             healths = {id(slot_seen[position]) for slot_seen in seen}
             assert len(healths) == 1, "first-touch race created duplicate breakers"
+
+
+def _verdict_matches(reference, candidate) -> bool:
+    """Whole-verdict equality (the bit-identity contract, as a bool)."""
+    return (
+        candidate.prediction == reference.prediction
+        and candidate.status == reference.status
+        and candidate.accepted == reference.accepted
+        and candidate.skipped_layers == reference.skipped_layers
+        and np.array_equal(candidate.per_layer, reference.per_layer)
+        and (
+            candidate.joint_discrepancy == reference.joint_discrepancy
+            or (
+                np.isnan(reference.joint_discrepancy)
+                and np.isnan(candidate.joint_discrepancy)
+            )
+        )
+    )
+
+
+@pytest.mark.rollout
+class TestMonitorHotSwap:
+    """Serve-under-swap bit-identity: a hot swap lands exactly at a group
+    boundary — no ticket ever observes a half-swapped monitor."""
+
+    def _generations(self, fitted_validator):
+        """The incumbent plus a pickle-round-tripped twin whose threshold
+        flips every acceptance (distinguishable generations)."""
+        twin = pickle.loads(pickle.dumps(fitted_validator))
+        twin.epsilon = -1e9  # flags everything the incumbent accepts
+        return RuntimeMonitor(fitted_validator), RuntimeMonitor(twin)
+
+    def test_swap_between_batches_is_bit_identical_per_generation(
+        self, fitted_validator
+    ):
+        images, _ = easy_image_task(12, seed=53)
+        incumbent, candidate = self._generations(fitted_validator)
+        fitted_validator.engine().cache.clear()
+        ref_incumbent = [
+            incumbent.classify(images[i : i + 1])[0] for i in range(6)
+        ]
+        ref_candidate = [
+            candidate.classify(images[i : i + 1])[0] for i in range(6, 12)
+        ]
+        # The generations genuinely disagree, or the test proves nothing.
+        assert any(
+            not _verdict_matches(a, b)
+            for a, b in zip(
+                ref_incumbent,
+                [candidate.classify(images[i : i + 1])[0] for i in range(6)],
+            )
+        )
+
+        server = ValidationServer(
+            incumbent,
+            ServeConfig(max_batch=1, max_wait_ms=0.0, workers=1, queue_depth=64),
+        )
+        with server:
+            first = [f.result(timeout=60.0) for f in map(server.submit, images[:6])]
+            previous = server.swap_monitor(candidate, bundle_version="twin@v2")
+            assert previous is incumbent
+            assert server.stats()["bundle_version"] == "twin@v2"
+            second = [f.result(timeout=60.0) for f in map(server.submit, images[6:])]
+
+        for ref, got in zip(ref_incumbent, first):
+            assert _verdict_matches(ref, got)
+        for ref, got in zip(ref_candidate, second):
+            assert _verdict_matches(ref, got)
+
+    def test_rapid_swaps_never_tear_a_verdict(self, fitted_validator):
+        images, _ = easy_image_task(24, seed=59)
+        incumbent, candidate = self._generations(fitted_validator)
+        fitted_validator.engine().cache.clear()
+        ref_a = [incumbent.classify(images[i : i + 1])[0] for i in range(24)]
+        ref_b = [candidate.classify(images[i : i + 1])[0] for i in range(24)]
+
+        server = ValidationServer(
+            incumbent,
+            ServeConfig(max_batch=1, max_wait_ms=0.0, workers=2, queue_depth=64),
+        )
+        stop = threading.Event()
+
+        def flipper():
+            generation = False
+            while not stop.is_set():
+                server.swap_monitor(candidate if generation else incumbent)
+                generation = not generation
+                time.sleep(0.0005)
+
+        swapper = threading.Thread(target=flipper)
+        with server:
+            swapper.start()
+            try:
+                futures = [server.submit(image) for image in images]
+                verdicts = [future.result(timeout=60.0) for future in futures]
+            finally:
+                stop.set()
+                swapper.join(timeout=60.0)
+        assert not swapper.is_alive()
+
+        # Hard invariant: every verdict is wholly one generation's work.
+        # (Which generation scored each ticket is a race — that's fine;
+        # a verdict matching *neither* reference is a torn monitor read.)
+        for position, got in enumerate(verdicts):
+            assert _verdict_matches(ref_a[position], got) or _verdict_matches(
+                ref_b[position], got
+            ), f"ticket {position} observed a half-swapped monitor"
 
 
 class TestCacheSingleFlight:

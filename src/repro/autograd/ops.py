@@ -235,7 +235,10 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     reshaped = x.data.reshape(batch * channels, 1, height, width)
     cols = im2col(reshaped, kernel, stride, 0)  # (K*K, N*C*out_h*out_w)
     arg = cols.argmax(axis=0)
-    out = cols[arg, np.arange(cols.shape[1])]
+    # One gather index shared by the forward gather and the backward
+    # scatter (it was previously rebuilt by both, every call).
+    index = np.arange(cols.shape[1])
+    out = cols[arg, index]
     out = out.reshape(out_h, out_w, batch, channels).transpose(2, 3, 0, 1)
 
     def backward(grad: np.ndarray) -> None:
@@ -243,7 +246,7 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
             return
         dcols = np.zeros_like(cols)
         flat = grad.transpose(2, 3, 0, 1).reshape(-1)
-        dcols[arg, np.arange(cols.shape[1])] = flat
+        dcols[arg, index] = flat
         dx = col2im(dcols, (batch * channels, 1, height, width), kernel, stride, 0)
         x.accumulate_grad(dx.reshape(x.shape))
 

@@ -52,6 +52,19 @@ def _layer_seconds():
     )
 
 
+def _hash_seconds():
+    return obs.histogram(
+        "cache_hash_seconds",
+        help="Wall time spent content-hashing batches for score-cache keys",
+        labels=("caller",),
+    )
+
+
+def _hash_key(images: np.ndarray, caller: str) -> str:
+    with obs.timed(_hash_seconds().labels(caller=caller)):
+        return hash_array(images)
+
+
 class ValidationEngine:
     """Vectorised, cached scoring facade over a fitted ``DeepValidator``.
 
@@ -128,7 +141,7 @@ class ValidationEngine:
         images = np.asarray(images)
         if len(images) == 0:
             return self._empty_result()
-        key = hash_array(images)
+        key = _hash_key(images, caller="discrepancies")
         computed = False
 
         def compute() -> tuple[np.ndarray, np.ndarray]:
@@ -178,7 +191,7 @@ class ValidationEngine:
         if skip:
             _cache_counter().labels(result="miss").inc()
             return self._compute_resilient(images, skip)
-        key = hash_array(images)
+        key = _hash_key(images, caller="discrepancies_resilient")
         computed = False
         errors_box: dict[int, Exception] = {}
 

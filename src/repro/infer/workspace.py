@@ -1,0 +1,159 @@
+"""Per-plan workspace pools: reusable scratch buffers for compiled inference.
+
+A compiled :class:`~repro.infer.plan.InferencePlan` performs the same buffer
+allocations on every call — im2col column blocks, padded-input staging,
+GEMM outputs, pooling argmax scratch, gather indices. :class:`WorkspacePool`
+keeps those buffers alive between calls, keyed by ``(step, role, shape,
+dtype)``, so steady-state inference allocates nothing but the probe outputs
+it hands to the caller.
+
+Buffers are **per thread**: each serving worker that runs the shared plan
+gets its own buffer set (a ``threading.local`` pool), so concurrent
+``classify`` calls can never tear each other's scratch space. Reuse is
+observable via :meth:`WorkspacePool.stats` and the
+``infer_workspace_reuse_total{result=hit|miss}`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import obs
+
+
+def _reuse_counter():
+    return obs.counter(
+        "infer_workspace_reuse_total",
+        help="Inference-plan workspace buffer requests by reuse outcome",
+        labels=("result",),
+    )
+
+
+class _ThreadBuffers:
+    """One thread's buffer set. Only its owning thread ever touches it."""
+
+    __slots__ = ("buffers", "hits", "misses", "flushed_hits", "flushed_misses")
+
+    def __init__(self) -> None:
+        self.buffers: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.flushed_hits = 0
+        self.flushed_misses = 0
+
+
+class WorkspacePool:
+    """Thread-local scratch buffers for one compiled plan.
+
+    Distinct chunk widths (a stream's final short chunk, different callers'
+    batch sizes) key distinct buffers, so a plan serving mixed batch shapes
+    holds one buffer per (step, role, shape, dtype) it has actually seen.
+    Pools are process-lifetime small: buffer count is bounded by the plan's
+    step count times the number of distinct chunk shapes.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._pools: list[_ThreadBuffers] = []
+
+    def _pool(self) -> _ThreadBuffers:
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = _ThreadBuffers()
+            self._local.pool = pool
+            with self._lock:
+                self._pools.append(pool)
+        return pool
+
+    # -- buffer checkout -------------------------------------------------------
+
+    def scratch(self, key: tuple, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialised C-contiguous buffer of exactly (shape, dtype).
+
+        Contents are whatever the previous use of this key left behind —
+        callers must fully overwrite them.
+        """
+        pool = self._pool()
+        full_key = (key, shape, np.dtype(dtype).str)
+        buf = pool.buffers.get(full_key)
+        if buf is None:
+            buf = np.empty(shape, dtype)
+            pool.buffers[full_key] = buf
+            pool.misses += 1
+        else:
+            pool.hits += 1
+        return buf
+
+    def zeroed(self, key: tuple, shape: tuple[int, ...], dtype) -> tuple[np.ndarray, bool]:
+        """A buffer that was zero-filled when first allocated.
+
+        Returns ``(buffer, reused)``. On reuse the buffer holds whatever the
+        caller wrote into it last time *plus* untouched zeros everywhere it
+        never wrote — the contract the padded-input staging buffer needs
+        (its border is written exactly once, then only the interior is
+        refreshed per call).
+        """
+        pool = self._pool()
+        full_key = (key, shape, np.dtype(dtype).str)
+        buf = pool.buffers.get(full_key)
+        if buf is None:
+            buf = np.zeros(shape, dtype)
+            pool.buffers[full_key] = buf
+            pool.misses += 1
+            return buf, False
+        pool.hits += 1
+        return buf, True
+
+    def index(self, key: tuple, size: int) -> np.ndarray:
+        """A cached ``np.arange(size)`` gather index (treat as read-only)."""
+        pool = self._pool()
+        full_key = (key, size, "index")
+        buf = pool.buffers.get(full_key)
+        if buf is None:
+            buf = np.arange(size)
+            pool.buffers[full_key] = buf
+            pool.misses += 1
+        else:
+            pool.hits += 1
+        return buf
+
+    def flush_metrics(self) -> None:
+        """Publish this thread's checkout counts since the last flush.
+
+        Buffer checkouts happen dozens of times per forward; incrementing a
+        labelled counter per checkout would dominate small-model inference.
+        Counts accumulate as plain ints on the thread's pool and are pushed
+        to ``infer_workspace_reuse_total`` once per chunk.
+        """
+        pool = self._pool()
+        hits = pool.hits - pool.flushed_hits
+        misses = pool.misses - pool.flushed_misses
+        if not hits and not misses:
+            return
+        counter = _reuse_counter()
+        if hits:
+            counter.labels(result="hit").inc(hits)
+        if misses:
+            counter.labels(result="miss").inc(misses)
+        pool.flushed_hits = pool.hits
+        pool.flushed_misses = pool.misses
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/buffer accounting aggregated across all threads."""
+        with self._lock:
+            pools = list(self._pools)
+        return {
+            "hits": sum(p.hits for p in pools),
+            "misses": sum(p.misses for p in pools),
+            "buffers": sum(len(p.buffers) for p in pools),
+            "threads": len(pools),
+        }
+
+    def __repr__(self) -> str:
+        return f"WorkspacePool({self.stats})"

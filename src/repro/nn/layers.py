@@ -57,10 +57,22 @@ class Softmax(Module):
 
 
 class Flatten(Module):
-    """Collapse all axes after the batch axis."""
+    """Collapse all axes after the batch axis to a contiguous (N, F) array.
+
+    The result is always C-contiguous: ``reshape`` alone can keep a strided
+    view alive (a transpose with a singleton axis reshapes without copying),
+    and the dense GEMM downstream is layout-sensitive in its last bits,
+    which would break bit-identity with the compiled inference path.
+    """
 
     def forward(self, x: Tensor) -> Tensor:
-        return x.reshape(x.shape[0], -1)
+        # Explicit feature count instead of -1: numpy cannot infer an axis
+        # on zero-image batches.
+        features = int(np.prod(x.shape[1:], dtype=np.int64))
+        flat = x.reshape(x.shape[0], features)
+        if not flat.data.flags.c_contiguous:
+            flat.data = np.ascontiguousarray(flat.data)
+        return flat
 
     def __repr__(self) -> str:
         return "Flatten()"

@@ -129,14 +129,43 @@ class ProbedSequential(Module):
         )
 
     # -- numpy-facing inference helpers ---------------------------------------
+    #
+    # These route through the compiled inference plan (repro.infer) when the
+    # model is fully lowerable, falling back to the Tensor forward otherwise.
+    # Both paths are bit-identical for the same chunking (docs/inference.md);
+    # ``compiled=True`` demands the plan (raising UnsupportedModuleError),
+    # ``compiled=False`` pins the Tensor path, ``None`` picks automatically.
 
-    def predict_proba(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    def _inference_plan(self, compiled: bool | None):
+        if compiled is False:
+            return None
+        from repro import infer
+
+        return infer.plan_for(self, require=compiled is True)
+
+    @staticmethod
+    def _as_float32(images: np.ndarray) -> np.ndarray:
+        # One up-front cast instead of a per-chunk astype; float32 input
+        # passes through untouched (Tensor construction below never copies
+        # a float array).
+        images = np.asarray(images)
+        if images.dtype != np.float32:
+            images = images.astype(np.float32)
+        return images
+
+    def predict_proba(
+        self, images: np.ndarray, batch_size: int = 256, compiled: bool | None = None
+    ) -> np.ndarray:
         """Class probabilities for a batch of images, without tape recording."""
         self.eval()
+        plan = self._inference_plan(compiled)
+        if plan is not None:
+            return plan.predict_proba(images, batch_size=batch_size)
+        images = self._as_float32(images)
         outputs = []
         with no_grad():
             for start in range(0, len(images), batch_size):
-                batch = Tensor(images[start : start + batch_size].astype(np.float32, copy=False))
+                batch = Tensor(images[start : start + batch_size])
                 outputs.append(self.forward(batch).data)
         return np.concatenate(outputs, axis=0)
 
@@ -144,7 +173,9 @@ class ProbedSequential(Module):
         """Predicted labels for a batch of images."""
         return self.predict_proba(images, batch_size=batch_size).argmax(axis=1)
 
-    def iter_hidden_representations(self, images: np.ndarray, batch_size: int = 256):
+    def iter_hidden_representations(
+        self, images: np.ndarray, batch_size: int = 256, compiled: bool | None = None
+    ):
         """Stream ``(start, probabilities, reps)`` per ``batch_size`` chunk.
 
         The memory-bounded counterpart of :meth:`hidden_representations`:
@@ -153,21 +184,39 @@ class ProbedSequential(Module):
         per (layer, class) — hold one chunk of activations at a time.
         Chunk boundaries match :meth:`hidden_representations` for the same
         ``batch_size``, keeping float32 forward results reproducible
-        between the streaming and materialising paths.
+        between the streaming and materialising paths — and, via the
+        differential suite, bit-identical between the compiled plan and
+        the Tensor fallback. This method is the single chokepoint every
+        representation consumer flows through (fault injectors patch it on
+        instances), so plan routing lives here, not in callers.
         """
         self.eval()
+        plan = self._inference_plan(compiled)
+        if plan is not None:
+            yield from plan.iter_chunks(images, batch_size=batch_size)
+            return
+        images = self._as_float32(images)
         for start in range(0, len(images), batch_size):
             with no_grad():
-                batch = Tensor(images[start : start + batch_size].astype(np.float32, copy=False))
+                batch = Tensor(images[start : start + batch_size])
                 out, probes = self.forward_probes(batch)
             yield (
                 start,
                 out.data,
-                [probe.data.reshape(probe.shape[0], -1) for probe in probes],
+                # ascontiguousarray so the flattened rep has the same memory
+                # layout the compiled plan emits: downstream scoring GEMMs
+                # are layout-sensitive at the last bit, and handing one path
+                # a strided view would make plan-on/off scores differ at
+                # ~1e-15. (For conv probes the reshape is a strided view
+                # anyway — the copy was previously paid inside the GEMM.)
+                [
+                    np.ascontiguousarray(probe.data.reshape(probe.shape[0], -1))
+                    for probe in probes
+                ],
             )
 
     def hidden_representations(
-        self, images: np.ndarray, batch_size: int = 256
+        self, images: np.ndarray, batch_size: int = 256, compiled: bool | None = None
     ) -> tuple[np.ndarray, list[np.ndarray]]:
         """Predictions plus flattened hidden representations per probe.
 
@@ -178,12 +227,34 @@ class ProbedSequential(Module):
         callers that need only a row subset should consume the iterator
         directly.
         """
+        if compiled is None:
+            # Default-signature call so instance-level patches of the
+            # iterator (fault injection) keep intercepting this path.
+            chunks = self.iter_hidden_representations(images, batch_size)
+        else:
+            chunks = self.iter_hidden_representations(
+                images, batch_size, compiled=compiled
+            )
         probs: list[np.ndarray] = []
         reps: list[list[np.ndarray]] = [[] for _ in self.probe_names]
-        for _, out, probes in self.iter_hidden_representations(images, batch_size):
+        for _, out, probes in chunks:
             probs.append(out)
             for slot, probe in zip(reps, probes):
                 slot.append(probe)
+        if not probs:
+            # Zero-image batch: the chunk loop never ran, but callers still
+            # need correctly-shaped (0, C) / (0, F) arrays. One forward over
+            # the empty batch recovers every output width.
+            self.eval()
+            with no_grad():
+                out, probes = self.forward_probes(Tensor(self._as_float32(images)))
+            return (
+                out.data,
+                [
+                    probe.data.reshape(0, int(np.prod(probe.shape[1:], dtype=np.int64)))
+                    for probe in probes
+                ],
+            )
         return (
             np.concatenate(probs, axis=0),
             [np.concatenate(slot, axis=0) for slot in reps],

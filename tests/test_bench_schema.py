@@ -1,6 +1,6 @@
 """Schema tests for the committed benchmark trajectory records.
 
-``BENCH_engine.json`` and ``BENCH_fit.json`` at the repository root are
+The ``BENCH_*.json`` records at the repository root are
 rewritten by the ``-m bench`` runners and committed so the perf
 trajectory is reviewable across PRs. These tests pin the record *shape*
 (keys and value types, including the embedded observability summary) so
@@ -155,6 +155,63 @@ class TestServeBenchRecord:
         # Coalescing actually happened: mean scored batch is wider than
         # one request.
         assert metrics["batch_size"]["mean"] > 1.0
+
+
+class TestInferBenchRecord:
+    def test_top_level_schema(self):
+        record = _load("BENCH_infer.json")
+        assert set(record) == {
+            "benchmark",
+            "batch",
+            "model",
+            "width",
+            "forward_probes",
+            "monitor_classify",
+            "metrics",
+        }
+        assert record["benchmark"] == "infer-compiled-plan"
+        assert isinstance(record["model"], str)
+        for key in ("batch", "width"):
+            assert isinstance(record[key], int)
+
+    def test_measurement_sections(self):
+        record = _load("BENCH_infer.json")
+        assert set(record["forward_probes"]) == {
+            "probes",
+            "tensor_images_per_sec",
+            "plan_images_per_sec",
+            "speedup",
+        }
+        assert set(record["monitor_classify"]) == {
+            "validated_layers",
+            "tensor_images_per_sec",
+            "plan_images_per_sec",
+            "speedup",
+        }
+        for section in (record["forward_probes"], record["monitor_classify"]):
+            assert section["speedup"] > 0
+
+    def test_metrics_summary(self):
+        metrics = _load("BENCH_infer.json")["metrics"]
+        assert set(metrics) == {"plan_compiles", "workspace", "hash_seconds"}
+        compiles = metrics["plan_compiles"]
+        assert set(compiles) == {"count", "total_seconds"}
+        # Both benched models compiled exactly once inside the run —
+        # recompiles during the timed loops would mean the plan cache broke.
+        assert compiles["count"] == 2
+        workspace = metrics["workspace"]
+        assert set(workspace) == {"hits", "misses", "hit_rate"}
+        assert workspace["hits"] >= 0 and workspace["misses"] >= 0
+        if workspace["hits"] + workspace["misses"]:
+            assert 0.0 <= workspace["hit_rate"] <= 1.0
+            # Pooling must actually pool: warm iterations dominate the run.
+            assert workspace["hit_rate"] > 0.5
+        else:
+            assert workspace["hit_rate"] is None
+        for timing in metrics["hash_seconds"].values():
+            assert set(timing) == {"count", "total_seconds"}
+            assert timing["count"] > 0
+            assert timing["total_seconds"] >= 0
 
 
 class TestFitBenchRecord:

@@ -116,13 +116,21 @@ class TestChunkedExtraction:
     ):
         model, train_x, train_y, *_ = trained_tiny_model
         seen: list[int] = []
-        original = ProbedSequential.forward_probes
+        original = ProbedSequential.iter_hidden_representations
 
-        def spying(self, x):
-            seen.append(x.shape[0])
-            return original(self, x)
+        # Spy on the chunking chokepoint itself — it covers both the
+        # compiled-plan and Tensor forwards (forward_probes only runs on
+        # the latter).
+        def spying(self, images, batch_size=256, compiled=None):
+            for start, probs, reps in original(
+                self, images, batch_size=batch_size, compiled=compiled
+            ):
+                seen.append(probs.shape[0])
+                yield start, probs, reps
 
-        monkeypatch.setattr(ProbedSequential, "forward_probes", spying)
+        monkeypatch.setattr(
+            ProbedSequential, "iter_hidden_representations", spying
+        )
         DeepValidator(model, ValidatorConfig(nu=0.15)).fit(
             train_x, train_y, chunk_size=16
         )

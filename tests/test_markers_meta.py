@@ -68,5 +68,6 @@ def test_expected_tier2_markers_exist():
         "serve",
         "chaos",
         "rollout",
+        "infer",
     }
     assert expected <= _registered_markers()

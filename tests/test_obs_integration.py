@@ -56,7 +56,11 @@ def _fit_calibrate_monitor(model, train_x, train_y, test_x):
 
 #: The exact span tree (attributes included) the pipeline must produce.
 GOLDEN_TREE = """\
+infer.forward [batch=256]
+infer.forward [batch=44]
 fit.pipeline [images=300, layers=3]
+  infer.forward [batch=256]
+  infer.forward [batch=44]
   fit.solve_tasks [n_jobs=1, tasks=9]
     fit.solve_task [klass=0, layer=0]
     fit.solve_task [klass=1, layer=0]
@@ -68,15 +72,18 @@ fit.pipeline [images=300, layers=3]
     fit.solve_task [klass=1, layer=2]
     fit.solve_task [klass=2, layer=2]
 engine.discrepancies [batch=16]
+  infer.forward [batch=16]
   engine.layer_score [layer='conv1']
   engine.layer_score [layer='conv2']
   engine.layer_score [layer='fc1']
 engine.discrepancies [batch=16]
+  infer.forward [batch=16]
   engine.layer_score [layer='conv1']
   engine.layer_score [layer='conv2']
   engine.layer_score [layer='fc1']
 monitor.classify [batch=4]
   engine.discrepancies_resilient [batch=4, skipped=0]
+    infer.forward [batch=4]
     engine.layer_score [layer='conv1']
     engine.layer_score [layer='conv2']
     engine.layer_score [layer='fc1']"""
